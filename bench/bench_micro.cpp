@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks of the core engines: event queue,
+// packet simulator, flow solver, routing/BFS, allocator, and the
+// Hamiltonian-ring construction.
+#include <benchmark/benchmark.h>
+
+#include "alloc/experiments.hpp"
+#include "collectives/hamiltonian.hpp"
+#include "flow/flow_sim.hpp"
+#include "flow/patterns.hpp"
+#include "sim/packet_sim.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hammingmesh.hpp"
+
+using namespace hxmesh;
+
+static void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long counter = 0;
+    for (int i = 0; i < 10000; ++i)
+      q.schedule(static_cast<picoseconds>((i * 2654435761u) % 100000),
+                 [&counter] { ++counter; });
+    q.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+static void BM_PacketSimPermutation(benchmark::State& state) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  for (auto _ : state) {
+    sim::PacketSim sim(hx);
+    int n = hx.num_endpoints();
+    for (int i = 0; i < n; ++i)
+      sim.send_message(i, (i + 17) % n, 64 * KiB, nullptr);
+    sim.run();
+    benchmark::DoNotOptimize(sim.stats().packets_delivered);
+  }
+}
+BENCHMARK(BM_PacketSimPermutation);
+
+static void BM_FlowSolverShift(benchmark::State& state) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 16, .y = 16});
+  flow::FlowSolver solver(hx);
+  for (auto _ : state) {
+    auto flows = flow::shift_pattern(hx.num_endpoints(), 321);
+    solver.solve(flows);
+    benchmark::DoNotOptimize(flows.front().rate);
+  }
+}
+BENCHMARK(BM_FlowSolverShift);
+
+static void BM_BfsDistanceField(benchmark::State& state) {
+  topo::FatTree ft({.num_endpoints = 1024});
+  for (auto _ : state) {
+    auto dist = ft.graph().dist_to(ft.endpoint_node(0));
+    benchmark::DoNotOptimize(dist.back());
+  }
+}
+BENCHMARK(BM_BfsDistanceField);
+
+static void BM_AllocatorJobMix(benchmark::State& state) {
+  for (auto _ : state) {
+    alloc::ExperimentConfig cfg;
+    cfg.x = 16;
+    cfg.y = 16;
+    cfg.trials = 1;
+    cfg.stack = alloc::HeuristicStack::kAll;
+    auto r = alloc::run_allocation_experiment(cfg);
+    benchmark::DoNotOptimize(r.utilization.mean);
+  }
+}
+BENCHMARK(BM_AllocatorJobMix);
+
+static void BM_HamiltonianRings(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rings = collectives::disjoint_hamiltonian_rings(64, 64);
+    benchmark::DoNotOptimize(rings.red.size());
+  }
+}
+BENCHMARK(BM_HamiltonianRings);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Regenerates Figure 7: cumulative distribution of the proportion of
+// boards allocated to jobs of a given size, for the synthetic stand-in of
+// the Alibaba MLaaS trace (DESIGN.md §3.2) and for the sampled job mixes
+// that fully occupy the cluster.
+#include <cstdio>
+
+#include "alloc/jobs.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+using namespace hxmesh;
+
+int main() {
+  std::printf("Figure 7: proportion of boards allocated to jobs by size\n\n");
+  alloc::JobSizeDistribution dist(1024);
+
+  Table table({"job size [boards]", "P(job <= size)", "boards CDF (analytic)",
+               "boards CDF (sampled mixes)"});
+  // Empirical board CDF from sampled full-cluster mixes.
+  Rng rng(2026);
+  std::vector<int> carry;
+  std::vector<double> boards_at(dist.sizes().size(), 0.0);
+  double boards_total = 0.0;
+  for (int mix = 0; mix < 1000; ++mix) {
+    auto jobs = alloc::draw_job_mix(dist, 4096, rng, carry);
+    for (int s : jobs) {
+      for (std::size_t i = 0; i < dist.sizes().size(); ++i)
+        if (dist.sizes()[i] == s) boards_at[i] += s;
+      boards_total += s;
+    }
+  }
+  auto job_cdf = dist.job_cdf();
+  auto board_cdf = dist.board_cdf();
+  double sampled_cum = 0.0;
+  for (std::size_t i = 0; i < dist.sizes().size(); ++i) {
+    sampled_cum += boards_at[i] / boards_total;
+    table.add_row({std::to_string(dist.sizes()[i]),
+                   fmt(job_cdf[i].fraction * 100, 1) + "%",
+                   fmt(board_cdf[i].fraction * 100, 1) + "%",
+                   fmt(sampled_cum * 100, 1) + "%"});
+  }
+  table.print();
+
+  double below100 = 0;
+  for (const auto& pt : dist.board_cdf())
+    if (pt.value < 100) below100 = pt.fraction;
+  std::printf("\nboards belonging to jobs of < 100 boards: %.0f%% "
+              "(paper annotation: ~39%%)\n",
+              below100 * 100);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Figure 8: system utilization of the greedy allocator under
+// the six heuristic stacks, on the four HxMesh clusters (small/large
+// Hx2Mesh and Hx4Mesh board grids).
+#include <cstdio>
+
+#include "alloc/experiments.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+using namespace hxmesh;
+using alloc::HeuristicStack;
+
+int main() {
+  std::printf("Figure 8: system utilization by allocation heuristics\n");
+  std::printf("(%% of boards allocated; 200 random job mixes per point)\n\n");
+  struct Cluster {
+    const char* name;
+    int x, y;
+  };
+  const Cluster clusters[] = {{"Small 16x16 Hx2Mesh", 16, 16},
+                              {"Small 8x8 Hx4Mesh", 8, 8},
+                              {"Large 64x64 Hx2Mesh", 64, 64},
+                              {"Large 32x32 Hx4Mesh", 32, 32}};
+  const HeuristicStack stacks[] = {
+      HeuristicStack::kGreedy,        HeuristicStack::kTranspose,
+      HeuristicStack::kAspect,        HeuristicStack::kAspectLocality,
+      HeuristicStack::kAspectSort,    HeuristicStack::kAll};
+
+  for (const Cluster& c : clusters) {
+    std::printf("-- %s --\n", c.name);
+    Table table({"heuristics", "mean", "median", "p99-low", "min", "max"});
+    for (HeuristicStack stack : stacks) {
+      alloc::ExperimentConfig cfg;
+      cfg.x = c.x;
+      cfg.y = c.y;
+      cfg.stack = stack;
+      cfg.trials = c.x >= 64 ? 60 : 200;
+      cfg.seed = 7;
+      auto r = alloc::run_allocation_experiment(cfg);
+      table.add_row({alloc::heuristic_label(stack),
+                     fmt(r.utilization.mean * 100, 1) + "%",
+                     fmt(r.utilization.median * 100, 1) + "%",
+                     fmt(r.utilization.p01 * 100, 1) + "%",
+                     fmt(r.utilization.min * 100, 1) + "%",
+                     fmt(r.utilization.max * 100, 1) + "%"});
+      std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

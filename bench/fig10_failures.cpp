@@ -1,0 +1,51 @@
+// Regenerates Figure 10: HxMesh utilization (fraction of non-faulted
+// boards allocated) as a function of the number of randomly failed boards,
+// for the small and large Hx2/Hx4 clusters, with jobs allocated in arrival
+// order (unsorted) and sorted by size.
+#include <cstdio>
+
+#include "alloc/experiments.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+using namespace hxmesh;
+using alloc::HeuristicStack;
+
+namespace {
+
+void run(const char* name, int x, int y, const std::vector<int>& failures) {
+  std::printf("-- %s (%d boards) --\n", name, x * y);
+  Table table({"failed boards", "unsorted mean", "unsorted median",
+               "sorted mean", "sorted median"});
+  for (int f : failures) {
+    alloc::ExperimentConfig cfg;
+    cfg.x = x;
+    cfg.y = y;
+    cfg.trials = x >= 64 ? 40 : 120;
+    cfg.failed_boards = f;
+    cfg.seed = 10 + f;
+    cfg.stack = HeuristicStack::kAspect;  // unsorted
+    auto unsorted = alloc::run_allocation_experiment(cfg);
+    cfg.stack = HeuristicStack::kAspectSort;
+    auto sorted = alloc::run_allocation_experiment(cfg);
+    table.add_row({std::to_string(f),
+                   fmt(unsorted.utilization.mean * 100, 1) + "%",
+                   fmt(unsorted.utilization.median * 100, 1) + "%",
+                   fmt(sorted.utilization.mean * 100, 1) + "%",
+                   fmt(sorted.utilization.median * 100, 1) + "%"});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 10: utilization of working boards vs failed boards\n\n");
+  run("Small Hx2Mesh 16x16", 16, 16, {0, 8, 16, 24, 32, 40, 48});
+  run("Small Hx4Mesh 8x8", 8, 8, {0, 8, 16, 24, 32, 40});
+  run("Large Hx2Mesh 64x64", 64, 64, {0, 25, 50, 75, 100, 125});
+  run("Large Hx4Mesh 32x32", 32, 32, {0, 25, 50, 75, 100, 125});
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Figure 11: alltoall bandwidth per accelerator vs message
+// size on the small topologies (flow-solver steady rates composed with the
+// alpha-beta round model).
+#include <cstdio>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "topo/zoo.hpp"
+#include "workload/comm_env.hpp"
+
+using namespace hxmesh;
+
+int main() {
+  std::printf("Figure 11: alltoall bandwidth vs message size, small "
+              "cluster [GB/s per accelerator, all planes]\n\n");
+  const std::vector<std::uint64_t> sizes = {4 * KiB,  16 * KiB, 64 * KiB,
+                                            256 * KiB, 1 * MiB,  4 * MiB};
+  std::vector<std::string> headers = {"Topology"};
+  for (auto s : sizes)
+    headers.push_back(s >= MiB ? std::to_string(s / MiB) + "MiB"
+                               : std::to_string(s / KiB) + "KiB");
+  Table table(headers);
+  for (auto which : topo::paper_topology_list()) {
+    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
+    workload::CommEnv env(*t);
+    const int n = t->num_endpoints();
+    double rate = env.alltoall_rate(n) * env.plane_factor();
+    double alpha = env.alltoall_alpha(n);
+    std::vector<std::string> row = {topo::paper_topology_label(which)};
+    for (auto s : sizes) {
+      // Per-peer message of s bytes, p-1 rounds; bandwidth saturates at the
+      // steady alltoall rate for large messages.
+      double per_round = alpha + static_cast<double>(s) / rate;
+      double bw = static_cast<double>(s) / per_round;
+      row.push_back(fmt(bw / 1e9, 1));
+    }
+    table.add_row(row);
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("\n(Table II reports the large-message plateau of these "
+              "curves as %% of injection.)\n");
+  return 0;
+}

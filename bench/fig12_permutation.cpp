@@ -1,0 +1,44 @@
+// Regenerates Figure 12: distribution of per-accelerator receive bandwidth
+// under random permutation traffic on the small topologies, plus the
+// average bandwidth and the cost per average bandwidth relative to the
+// nonblocking fat tree.
+#include <cstdio>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "cost/cost_model.hpp"
+#include "flow/patterns.hpp"
+#include "topo/zoo.hpp"
+
+using namespace hxmesh;
+
+int main() {
+  std::printf("Figure 12: receive bandwidth distribution, random "
+              "permutations, small cluster [GB/s per accelerator/plane "
+              "set]\n\n");
+  Table table({"Topology", "min", "p25", "median", "p75", "max", "mean",
+               "cost/avgBW vs FT"});
+  double ft_ratio = 0.0;
+  for (auto which : topo::paper_topology_list()) {
+    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
+    flow::FlowSolver solver(*t);
+    Rng rng(31);
+    std::vector<double> rx;
+    for (int trial = 0; trial < 4; ++trial) {
+      auto flows = flow::random_permutation(t->num_endpoints(), rng);
+      solver.solve(flows);
+      for (const auto& f : flows) rx.push_back(f.rate / 1e9);
+    }
+    Summary s = summarize(std::move(rx));
+    double cost = cost::bom_for(*t).total_musd();
+    double ratio = cost / s.mean;
+    if (which == topo::PaperTopology::kFatTree) ft_ratio = ratio;
+    table.add_row({topo::paper_topology_label(which), fmt(s.min, 1),
+                   fmt(s.p25, 1), fmt(s.median, 1), fmt(s.p75, 1),
+                   fmt(s.max, 1), fmt(s.mean, 1),
+                   fmt(ratio / ft_ratio, 2) + "x"});
+    std::fflush(stdout);
+  }
+  table.print();
+  return 0;
+}

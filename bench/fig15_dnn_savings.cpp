@@ -1,0 +1,63 @@
+// Regenerates Figure 15 and the Section V-B runtime numbers: per-iteration
+// runtimes of ResNet-152, GPT-3, GPT-3 MoE, CosmoFlow and DLRM on every
+// topology, and the HxMesh cost savings relative to the other topologies
+// (cost ratio times the inverse ratio of communication overheads).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "cost/cost_model.hpp"
+#include "topo/zoo.hpp"
+#include "workload/dnn.hpp"
+
+using namespace hxmesh;
+
+int main() {
+  std::printf("Section V-B: DNN iteration times [ms] (compute + exposed "
+              "communication)\n\n");
+  std::map<topo::PaperTopology, std::vector<workload::ModelResult>> results;
+  std::map<topo::PaperTopology, double> costs;
+  std::vector<std::string> model_names;
+
+  Table runtimes({"Topology", "ResNet-152", "GPT-3", "GPT-3 MoE",
+                  "CosmoFlow", "DLRM"});
+  for (auto which : topo::paper_topology_list()) {
+    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
+    workload::CommEnv env(*t);
+    results[which] = workload::eval_all_models(env);
+    costs[which] = cost::bom_for(*t).total_musd();
+    std::vector<std::string> row = {topo::paper_topology_label(which)};
+    for (const auto& r : results[which]) row.push_back(fmt(r.iteration_ms, 2));
+    runtimes.add_row(row);
+    if (model_names.empty())
+      for (const auto& r : results[which]) model_names.push_back(r.model);
+    std::fflush(stdout);
+  }
+  runtimes.print();
+
+  for (auto hx : {topo::PaperTopology::kHx2Mesh,
+                  topo::PaperTopology::kHx4Mesh}) {
+    std::printf("\nFigure 15: %s cost savings vs other topologies\n"
+                "(network cost ratio x inverse communication-overhead "
+                "ratio)\n\n",
+                topo::paper_topology_label(hx).c_str());
+    std::vector<std::string> headers = {"vs topology"};
+    for (const auto& m : model_names) headers.push_back(m);
+    Table table(headers);
+    for (auto other : topo::paper_topology_list()) {
+      if (other == hx) continue;
+      std::vector<std::string> row = {topo::paper_topology_label(other)};
+      for (std::size_t m = 0; m < model_names.size(); ++m) {
+        double cost_ratio = costs[other] / costs[hx];
+        double hx_over = std::max(1e-6, results[hx][m].overhead_ms());
+        double other_over = std::max(1e-6, results[other][m].overhead_ms());
+        row.push_back(fmt(cost_ratio * other_over / hx_over, 1));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}

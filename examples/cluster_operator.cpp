@@ -1,0 +1,73 @@
+// Cluster operator: a day in the life of a 16x16 Hx2Mesh cluster. Jobs
+// arrive and depart, boards fail at random, and the greedy allocator with
+// all heuristics keeps packing virtual sub-HxMeshes around the holes
+// (Section IV). Prints a utilization timeline and the final board map.
+//
+//   $ ./cluster_operator
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/jobs.hpp"
+
+using namespace hxmesh;
+
+int main() {
+  const int x = 16, y = 16;
+  alloc::Allocator cluster(
+      x, y, alloc::AllocatorOptions{.transpose = true, .aspect_ratio = true,
+                                    .locality = true});
+  alloc::JobSizeDistribution dist(64);
+  Rng rng(2026);
+
+  struct Running {
+    alloc::Placement placement;
+    int ends_at;
+  };
+  std::deque<Running> running;
+  int next_job = 0, rejected = 0, completed = 0;
+
+  std::printf("tick  arrivals  departures  failed  allocated  utilization\n");
+  for (int tick = 0; tick < 40; ++tick) {
+    // Departures.
+    int departures = 0;
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].ends_at <= tick) {
+        cluster.release(running[i].placement);
+        running.erase(running.begin() + static_cast<long>(i));
+        ++departures;
+        ++completed;
+      } else {
+        ++i;
+      }
+    }
+    // Occasional board failure (~every 8 ticks).
+    if (rng.uniform(8) == 0) cluster.fail_random_boards(1, rng);
+    // Arrivals: 1-3 jobs per tick with heavy-tailed sizes.
+    int arrivals = 1 + static_cast<int>(rng.uniform(3));
+    for (int a = 0; a < arrivals; ++a) {
+      int boards = dist.sample(rng);
+      auto p = cluster.allocate(next_job++, boards, rng);
+      if (p)
+        running.push_back({*p, tick + 3 + static_cast<int>(rng.uniform(12))});
+      else
+        ++rejected;
+    }
+    std::printf("%4d  %8d  %10d  %6d  %9d  %10.1f%%\n", tick, arrivals,
+                departures, cluster.boards_total() - cluster.boards_alive(),
+                cluster.boards_allocated(), cluster.utilization() * 100);
+  }
+
+  std::printf("\ncompleted=%d running=%zu rejected=%d\n", completed,
+              running.size(), rejected);
+  // Board map: letters = jobs, '.' = free, 'X' = failed.
+  std::vector<std::string> map(y, std::string(x, '.'));
+  for (const auto& r : running)
+    for (int by : r.placement.rows)
+      for (int bx : r.placement.cols)
+        map[by][bx] = static_cast<char>('a' + r.placement.job_id % 26);
+  std::printf("\nboard map (letters = jobs, '.' = free):\n");
+  for (const auto& row : map) std::printf("  %s\n", row.c_str());
+  return 0;
+}

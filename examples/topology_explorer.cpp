@@ -1,0 +1,64 @@
+// Topology explorer: sweep the HammingMesh design space (board size and
+// rail tapering — the two "dials" of Sections III and III-F) at a fixed
+// accelerator count and print the cost / bandwidth trade-off frontier.
+//
+//   $ ./topology_explorer
+#include <cstdio>
+#include <memory>
+
+#include "collectives/models.hpp"
+#include "cost/cost_model.hpp"
+#include "flow/patterns.hpp"
+#include "topo/hammingmesh.hpp"
+
+using namespace hxmesh;
+
+namespace {
+
+double alltoall_fraction(const topo::Topology& t) {
+  flow::FlowSolver solver(t);
+  const int n = t.num_endpoints();
+  double total = 0;
+  int count = 0;
+  for (int s = 1; s < n; s += (n - 1) / 16) {
+    auto flows = flow::shift_pattern(n, s);
+    solver.solve(flows);
+    for (const auto& f : flows) total += f.rate;
+    count += n;
+  }
+  return total / count / t.injection_bandwidth();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("HammingMesh design space at 4,096 accelerators\n");
+  std::printf("%-22s %10s %12s %12s %10s\n", "configuration", "cost[M$]",
+              "global BW", "allreduce", "diameter");
+  struct Config {
+    int a, b, x, y;
+    double taper;
+  };
+  const Config configs[] = {
+      {1, 1, 64, 64, 1.0}, {2, 2, 32, 32, 1.0}, {2, 2, 32, 32, 0.5},
+      {4, 4, 16, 16, 1.0}, {8, 8, 8, 8, 1.0},   {4, 2, 16, 32, 1.0},
+  };
+  for (const Config& c : configs) {
+    topo::HammingMesh hx(
+        {.a = c.a, .b = c.b, .x = c.x, .y = c.y, .rail_taper = c.taper});
+    double cost = cost::hxmesh_bom(hx).total_musd();
+    double glob = alltoall_fraction(hx);
+    auto ring = collectives::measure_ring(hx);
+    double ared = collectives::allreduce_fraction_of_peak(ring, 4.0 * GiB);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s taper=%.0f%%", hx.name().c_str(),
+                  c.taper * 100);
+    std::printf("%-22s %10.1f %11.1f%% %11.1f%% %10d\n", name, cost,
+                glob * 100, ared * 100, hx.diameter_formula());
+    std::fflush(stdout);
+  }
+  std::printf("\nBigger boards and tapered rails trade global bandwidth "
+              "for cost; allreduce stays near peak everywhere —\nthe "
+              "HammingMesh thesis in one table.\n");
+  return 0;
+}

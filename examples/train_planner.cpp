@@ -1,0 +1,58 @@
+// Train planner: estimate per-iteration times of the paper's five DNN
+// workloads on each candidate network of the small cluster, and rank the
+// networks by cost-effectiveness for a chosen model (the Figure 15
+// question asked as a procurement decision).
+//
+//   $ ./train_planner            # plans for GPT-3
+//   $ ./train_planner ResNet-152
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "topo/zoo.hpp"
+#include "workload/dnn.hpp"
+
+using namespace hxmesh;
+
+int main(int argc, char** argv) {
+  std::string target = argc > 1 ? argv[1] : "GPT-3";
+  struct Option {
+    std::string name;
+    double cost_musd;
+    double iteration_ms;
+    double overhead_ms;
+  };
+  std::vector<Option> options;
+
+  for (auto which : topo::paper_topology_list()) {
+    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
+    workload::CommEnv env(*t);
+    for (const auto& r : workload::eval_all_models(env))
+      if (r.model == target)
+        options.push_back({topo::paper_topology_label(which),
+                           cost::bom_for(*t).total_musd(), r.iteration_ms,
+                           r.overhead_ms()});
+  }
+  if (options.empty()) {
+    std::printf("unknown model '%s' (try: ResNet-152, GPT-3, GPT-3 MoE, "
+                "CosmoFlow, DLRM)\n",
+                target.c_str());
+    return 1;
+  }
+
+  // Rank by cost per unit of training throughput (1/iteration time).
+  std::sort(options.begin(), options.end(), [](const auto& a, const auto& b) {
+    return a.cost_musd * a.iteration_ms < b.cost_musd * b.iteration_ms;
+  });
+  std::printf("Training plan for %s on ~1,024 accelerators\n", target.c_str());
+  std::printf("%-14s %10s %14s %14s %18s\n", "network", "cost[M$]",
+              "iteration[ms]", "exposed[ms]", "cost*time (rank)");
+  for (const auto& o : options)
+    std::printf("%-14s %10.1f %14.2f %14.2f %18.1f\n", o.name.c_str(),
+                o.cost_musd, o.iteration_ms, o.overhead_ms,
+                o.cost_musd * o.iteration_ms);
+  std::printf("\nBest value: %s\n", options.front().name.c_str());
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "alloc/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hxmesh::alloc {
+
+namespace {
+
+// Counts the crossings / traversals of one tree hop between line positions
+// p1 and p2 (leaf group = position / boards_per_leaf).
+bool crosses_leaf(int p1, int p2, int boards_per_leaf) {
+  return p1 / boards_per_leaf != p2 / boards_per_leaf;
+}
+
+}  // namespace
+
+double upper_traffic_alltoall(const Placement& p, int boards_per_leaf) {
+  const auto& rows = p.rows;
+  const auto& cols = p.cols;
+  double traversals = 0.0, crossings = 0.0;
+  // Every unordered board pair of the job exchanges the same volume.
+  for (std::size_t r1 = 0; r1 < rows.size(); ++r1)
+    for (std::size_t c1 = 0; c1 < cols.size(); ++c1)
+      for (std::size_t r2 = r1; r2 < rows.size(); ++r2)
+        for (std::size_t c2 = 0; c2 < cols.size(); ++c2) {
+          if (r2 == r1 && c2 <= c1) continue;
+          bool same_row = r1 == r2, same_col = c1 == c2;
+          if (same_row) {
+            traversals += 1;
+            crossings += crosses_leaf(cols[c1], cols[c2], boards_per_leaf);
+          } else if (same_col) {
+            traversals += 1;
+            crossings += crosses_leaf(rows[r1], rows[r2], boards_per_leaf);
+          } else {
+            // Routed via an intermediate board: one row tree + one col tree.
+            traversals += 2;
+            crossings += crosses_leaf(cols[c1], cols[c2], boards_per_leaf);
+            crossings += crosses_leaf(rows[r1], rows[r2], boards_per_leaf);
+          }
+        }
+  return traversals > 0 ? crossings / traversals : 0.0;
+}
+
+double upper_traffic_allreduce(const Placement& p, int boards_per_leaf) {
+  // Ring snaking over the virtual grid: horizontal steps between adjacent
+  // chosen columns, one vertical step per row change, one wrap.
+  const auto& rows = p.rows;
+  const auto& cols = p.cols;
+  if (rows.empty() || cols.empty()) return 0.0;
+  double traversals = 0.0, crossings = 0.0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c + 1 < cols.size(); ++c) {
+      traversals += 1;
+      crossings += crosses_leaf(cols[c], cols[c + 1], boards_per_leaf);
+    }
+    if (r + 1 < rows.size()) {
+      traversals += 1;
+      crossings += crosses_leaf(rows[r], rows[r + 1], boards_per_leaf);
+    }
+  }
+  // Closing wrap between first and last row (same column).
+  if (rows.size() > 1) {
+    traversals += 1;
+    crossings += crosses_leaf(rows.front(), rows.back(), boards_per_leaf);
+  }
+  return traversals > 0 ? crossings / traversals : 0.0;
+}
+
+Allocator::Allocator(int x, int y, AllocatorOptions options)
+    : x_(x), y_(y), options_(options), state_(x * y, 0), alive_(x * y) {}
+
+void Allocator::fail_random_boards(int count, Rng& rng) {
+  std::vector<int> alive;
+  for (int i = 0; i < x_ * y_; ++i)
+    if (state_[i] == 0) alive.push_back(i);
+  rng.shuffle(alive);
+  for (int i = 0; i < count && i < static_cast<int>(alive.size()); ++i) {
+    state_[alive[i]] = 2;
+    --alive_;
+  }
+}
+
+std::optional<Placement> Allocator::find_block(int u, int v) const {
+  if (u > y_ || v > x_) return std::nullopt;
+  // Free-column sets per row, as bitmaps over columns.
+  std::vector<int> selected_rows;
+  std::vector<std::uint8_t> intersection(x_, 0);
+  int intersection_count = 0;
+  for (int by = 0; by < y_ && static_cast<int>(selected_rows.size()) < u;
+       ++by) {
+    if (selected_rows.empty()) {
+      int free_count = 0;
+      for (int bx = 0; bx < x_; ++bx) free_count += is_free(bx, by);
+      if (free_count < v) continue;
+      for (int bx = 0; bx < x_; ++bx) intersection[bx] = is_free(bx, by);
+      intersection_count = free_count;
+      selected_rows.push_back(by);
+      continue;
+    }
+    int count = 0;
+    for (int bx = 0; bx < x_; ++bx) count += intersection[bx] && is_free(bx, by);
+    if (count < v) continue;
+    for (int bx = 0; bx < x_; ++bx) intersection[bx] &= is_free(bx, by);
+    intersection_count = count;
+    selected_rows.push_back(by);
+  }
+  if (static_cast<int>(selected_rows.size()) < u) return std::nullopt;
+  (void)intersection_count;
+  Placement p;
+  p.rows = std::move(selected_rows);
+  for (int bx = 0; bx < x_ && static_cast<int>(p.cols.size()) < v; ++bx)
+    if (intersection[bx]) p.cols.push_back(bx);
+  assert(static_cast<int>(p.cols.size()) == v);
+  return p;
+}
+
+std::vector<std::pair<int, int>> Allocator::shape_candidates(
+    int boards) const {
+  // Factor pairs (u rows, v cols), most-square first.
+  std::vector<std::pair<int, int>> shapes;
+  int best_u = 1;
+  for (int u = 1; u * u <= boards; ++u)
+    if (boards % u == 0) best_u = u;
+  auto push = [&](int u, int v) {
+    if (std::find(shapes.begin(), shapes.end(), std::make_pair(u, v)) ==
+        shapes.end())
+      shapes.emplace_back(u, v);
+  };
+  push(best_u, boards / best_u);
+  if (options_.transpose) push(boards / best_u, best_u);
+  if (options_.aspect_ratio) {
+    std::vector<std::pair<int, int>> more;
+    for (int u = 1; u <= boards; ++u) {
+      if (boards % u != 0) continue;
+      int v = boards / u;
+      if (std::max(u, v) > options_.max_aspect * std::min(u, v)) continue;
+      more.emplace_back(u, v);
+    }
+    // Most-square first among the relaxed shapes.
+    std::sort(more.begin(), more.end(), [](auto a, auto b) {
+      return std::abs(a.first - a.second) < std::abs(b.first - b.second);
+    });
+    for (auto [u, v] : more) {
+      push(u, v);
+      if (options_.transpose) push(v, u);
+    }
+  }
+  return shapes;
+}
+
+std::optional<Placement> Allocator::allocate(int job_id, int boards,
+                                             Rng& rng) {
+  (void)rng;
+  std::optional<Placement> best;
+  double best_score = 0.0;
+  for (auto [u, v] : shape_candidates(boards)) {
+    auto p = find_block(u, v);
+    if (!p) continue;
+    if (!options_.locality) {
+      best = std::move(p);
+      break;
+    }
+    double score = upper_traffic_alltoall(*p, options_.boards_per_leaf);
+    if (!best || score < best_score) {
+      best_score = score;
+      best = std::move(p);
+    }
+  }
+  if (!best) return std::nullopt;
+  commit(*best, job_id);
+  return best;
+}
+
+void Allocator::commit(Placement& p, int job_id) {
+  p.job_id = job_id;
+  for (int by : p.rows)
+    for (int bx : p.cols) {
+      assert(is_free(bx, by));
+      state_[by * x_ + bx] = 1;
+    }
+  allocated_ += p.num_boards();
+  placements_.push_back(p);
+}
+
+void Allocator::release(const Placement& p) {
+  for (int by : p.rows)
+    for (int bx : p.cols) {
+      assert(state_[by * x_ + bx] == 1);
+      state_[by * x_ + bx] = 0;
+    }
+  allocated_ -= p.num_boards();
+  for (std::size_t i = 0; i < placements_.size(); ++i)
+    if (placements_[i].job_id == p.job_id) {
+      placements_.erase(placements_.begin() + static_cast<long>(i));
+      break;
+    }
+}
+
+}  // namespace hxmesh::alloc

@@ -1,0 +1,93 @@
+// Job allocation on HammingMesh (Section IV).
+//
+// Jobs request u x v blocks of boards. Because any set of boards whose rows
+// all share the same column set forms a virtual sub-HxMesh (Section III-E),
+// the allocator only needs to find u rows whose free-column sets intersect
+// in at least v columns — the greedy algorithm of Section IV-A. Optional
+// heuristics: transpose, aspect-ratio relaxation (up to 8:1), size-sorted
+// allocation, and locality scoring that minimizes expected upper-tree
+// traffic (Section IV-A's optimization list).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace hxmesh::alloc {
+
+/// A placed job: the virtual sub-HxMesh is rows() x cols() boards at the
+/// intersection of `rows` and `cols` (physical indices, ascending).
+struct Placement {
+  int job_id = -1;
+  std::vector<int> rows;
+  std::vector<int> cols;
+  int num_boards() const {
+    return static_cast<int>(rows.size() * cols.size());
+  }
+};
+
+struct AllocatorOptions {
+  bool transpose = false;
+  bool aspect_ratio = false;
+  int max_aspect = 8;
+  bool locality = false;
+  /// Boards per rail leaf switch (radix/4 = 16 for 64-port switches); used
+  /// by the locality score.
+  int boards_per_leaf = 16;
+};
+
+/// Fraction of fat-tree traversals of an alltoall inside the placement that
+/// must use the upper (spine) level, i.e. cross rail leaves (Figure 9).
+double upper_traffic_alltoall(const Placement& p, int boards_per_leaf);
+
+/// Same for a ring allreduce snaking over the placement's virtual grid.
+double upper_traffic_allreduce(const Placement& p, int boards_per_leaf);
+
+/// Board-grid allocator for an x*y HxMesh.
+class Allocator {
+ public:
+  Allocator(int x, int y, AllocatorOptions options = {});
+
+  int width() const { return x_; }
+  int height() const { return y_; }
+  int boards_total() const { return x_ * y_; }
+  int boards_alive() const { return alive_; }
+  int boards_allocated() const { return allocated_; }
+  /// Fraction of non-failed boards currently allocated to jobs.
+  double utilization() const {
+    return alive_ ? static_cast<double>(allocated_) / alive_ : 0.0;
+  }
+
+  /// Marks `count` random alive boards as failed (they never allocate).
+  void fail_random_boards(int count, Rng& rng);
+
+  /// Greedy row-intersection placement of an exact u x v block; returns the
+  /// placement without committing it.
+  std::optional<Placement> find_block(int u, int v) const;
+
+  /// Allocates a job of `boards` total boards, choosing its shape according
+  /// to the options (as square as possible by default). Returns the
+  /// committed placement or nullopt.
+  std::optional<Placement> allocate(int job_id, int boards, Rng& rng);
+
+  /// Releases a previously committed placement.
+  void release(const Placement& p);
+
+  const std::vector<Placement>& placements() const { return placements_; }
+
+ private:
+  bool is_free(int bx, int by) const { return state_[by * x_ + bx] == 0; }
+  void commit(Placement& p, int job_id);
+  // Shape candidates for `boards` under the options, best-first.
+  std::vector<std::pair<int, int>> shape_candidates(int boards) const;
+
+  int x_, y_;
+  AllocatorOptions options_;
+  std::vector<std::uint8_t> state_;  // 0 free, 1 allocated, 2 failed
+  int alive_ = 0;
+  int allocated_ = 0;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace hxmesh::alloc

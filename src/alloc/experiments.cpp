@@ -1,0 +1,70 @@
+#include "alloc/experiments.hpp"
+
+#include <algorithm>
+
+namespace hxmesh::alloc {
+
+std::string heuristic_label(HeuristicStack stack) {
+  switch (stack) {
+    case HeuristicStack::kGreedy: return "greedy";
+    case HeuristicStack::kTranspose: return "greedy+transpose";
+    case HeuristicStack::kAspect: return "greedy+transpose+aspect";
+    case HeuristicStack::kAspectLocality:
+      return "greedy+transpose+aspect+locality";
+    case HeuristicStack::kAspectSort: return "greedy+transpose+aspect+sort";
+    case HeuristicStack::kAll:
+      return "greedy+transpose+aspect+sort+locality";
+  }
+  return "?";
+}
+
+AllocatorOptions options_for(HeuristicStack stack) {
+  AllocatorOptions o;
+  o.transpose = stack != HeuristicStack::kGreedy;
+  o.aspect_ratio = stack != HeuristicStack::kGreedy &&
+                   stack != HeuristicStack::kTranspose;
+  o.locality = stack == HeuristicStack::kAspectLocality ||
+               stack == HeuristicStack::kAll;
+  return o;
+}
+
+bool sorts_jobs(HeuristicStack stack) {
+  return stack == HeuristicStack::kAspectSort || stack == HeuristicStack::kAll;
+}
+
+ExperimentResult run_allocation_experiment(const ExperimentConfig& config) {
+  Rng rng(config.seed);
+  std::vector<double> utils, a2a_upper, ared_upper;
+  std::vector<int> carry;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Allocator allocator(config.x, config.y, options_for(config.stack));
+    if (config.failed_boards > 0)
+      allocator.fail_random_boards(config.failed_boards, rng);
+    int capacity = allocator.boards_alive();
+    int max_size = 1;
+    while (max_size * 2 <= capacity) max_size *= 2;
+    JobSizeDistribution dist(std::min(max_size, 1024));
+    std::vector<int> mix = draw_job_mix(dist, capacity, rng, carry);
+    if (sorts_jobs(config.stack))
+      std::sort(mix.begin(), mix.end(), std::greater<>());
+    for (std::size_t j = 0; j < mix.size(); ++j)
+      allocator.allocate(static_cast<int>(j), mix[j], rng);
+    utils.push_back(allocator.utilization());
+
+    double traversals = 0, a2a = 0, ared = 0;
+    for (const Placement& p : allocator.placements()) {
+      double w = p.num_boards();
+      a2a += w * upper_traffic_alltoall(p, 16);
+      ared += w * upper_traffic_allreduce(p, 16);
+      traversals += w;
+    }
+    if (traversals > 0) {
+      a2a_upper.push_back(a2a / traversals);
+      ared_upper.push_back(ared / traversals);
+    }
+  }
+  return {summarize(std::move(utils)), summarize(std::move(a2a_upper)),
+          summarize(std::move(ared_upper))};
+}
+
+}  // namespace hxmesh::alloc

@@ -1,0 +1,46 @@
+// Allocation experiment driver shared by the Figure 8/9/10 harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/jobs.hpp"
+#include "core/stats.hpp"
+
+namespace hxmesh::alloc {
+
+/// The heuristic stacks of Figure 8, in plot order.
+enum class HeuristicStack {
+  kGreedy,
+  kTranspose,          // + transpose
+  kAspect,             // + transpose + aspect ratio
+  kAspectLocality,     // + transpose + aspect + locality
+  kAspectSort,         // + transpose + aspect + sort
+  kAll,                // + transpose + aspect + sort + locality
+};
+
+std::string heuristic_label(HeuristicStack stack);
+AllocatorOptions options_for(HeuristicStack stack);
+bool sorts_jobs(HeuristicStack stack);
+
+struct ExperimentConfig {
+  int x = 16, y = 16;        // board grid
+  HeuristicStack stack = HeuristicStack::kGreedy;
+  int trials = 100;          // job mixes
+  int failed_boards = 0;
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  Summary utilization;        // fraction of alive boards allocated
+  Summary alltoall_upper;     // upper-level traffic share, alltoall
+  Summary allreduce_upper;    // upper-level traffic share, ring allreduce
+};
+
+/// Draws `trials` job mixes that fill the (non-failed part of the) cluster
+/// and allocates them with the chosen heuristics; reports utilization and
+/// upper-tree traffic distributions.
+ExperimentResult run_allocation_experiment(const ExperimentConfig& config);
+
+}  // namespace hxmesh::alloc

@@ -1,0 +1,66 @@
+#include "alloc/jobs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hxmesh::alloc {
+
+JobSizeDistribution::JobSizeDistribution(int max_size, double exponent) {
+  for (int s = 1; s <= max_size; s *= 2) sizes_.push_back(s);
+  double total = 0.0;
+  for (int s : sizes_) total += std::pow(s, -exponent);
+  for (int s : sizes_) probs_.push_back(std::pow(s, -exponent) / total);
+  double cum = 0.0;
+  for (double p : probs_) {
+    cum += p;
+    cum_.push_back(cum);
+  }
+  cum_.back() = 1.0;
+}
+
+int JobSizeDistribution::sample(Rng& rng) const {
+  double u = rng.uniform_double();
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  return sizes_[static_cast<std::size_t>(it - cum_.begin())];
+}
+
+std::vector<CdfPoint> JobSizeDistribution::job_cdf() const {
+  std::vector<double> values(sizes_.begin(), sizes_.end());
+  return weighted_cdf(values, probs_);
+}
+
+std::vector<CdfPoint> JobSizeDistribution::board_cdf() const {
+  std::vector<double> values(sizes_.begin(), sizes_.end());
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < sizes_.size(); ++i)
+    weights.push_back(probs_[i] * sizes_[i]);
+  return weighted_cdf(values, weights);
+}
+
+std::vector<int> draw_job_mix(const JobSizeDistribution& dist, int capacity,
+                              Rng& rng, std::vector<int>& carry) {
+  std::vector<int> mix;
+  int total = 0;
+  // First drain carried samples that fit.
+  for (std::size_t i = 0; i < carry.size();) {
+    if (total + carry[i] <= capacity) {
+      total += carry[i];
+      mix.push_back(carry[i]);
+      carry.erase(carry.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  while (total < capacity) {
+    int s = dist.sample(rng);
+    if (total + s <= capacity) {
+      total += s;
+      mix.push_back(s);
+    } else {
+      carry.push_back(s);
+    }
+  }
+  return mix;
+}
+
+}  // namespace hxmesh::alloc

@@ -1,0 +1,48 @@
+// Synthetic job-size workload (Section IV-B, Figure 7).
+//
+// The paper samples job sizes from a two-month trace of Alibaba's MLaaS
+// cluster (6,742 GPUs). The trace itself is not redistributable, so we use
+// a parametric heavy-tailed stand-in over power-of-two sizes, calibrated to
+// the board-weighted CDF shape shown in Figure 7 (roughly 39% of boards
+// belong to jobs smaller than 100 boards, with single-board jobs the most
+// frequent and a tail up to cluster scale). See DESIGN.md §3.2.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace hxmesh::alloc {
+
+/// Heavy-tailed distribution over job sizes measured in boards.
+class JobSizeDistribution {
+ public:
+  /// Sizes are powers of two in [1, max_size]; P(s) proportional to
+  /// s^-exponent. The default exponent 0.75 reproduces the Figure 7 shape.
+  explicit JobSizeDistribution(int max_size = 1024, double exponent = 0.75);
+
+  /// Draws one job size (boards).
+  int sample(Rng& rng) const;
+
+  const std::vector<int>& sizes() const { return sizes_; }
+  const std::vector<double>& probabilities() const { return probs_; }
+
+  /// CDF of the job-count distribution (P(size <= s)).
+  std::vector<CdfPoint> job_cdf() const;
+  /// CDF of boards: fraction of all boards that belong to jobs of size <= s
+  /// (what Figure 7 plots).
+  std::vector<CdfPoint> board_cdf() const;
+
+ private:
+  std::vector<int> sizes_;
+  std::vector<double> probs_;   // normalized
+  std::vector<double> cum_;     // cumulative, for sampling
+};
+
+/// One job mix: sizes drawn until `capacity` boards are exactly filled;
+/// samples that do not fit are carried into the next mix via `carry`.
+std::vector<int> draw_job_mix(const JobSizeDistribution& dist, int capacity,
+                              Rng& rng, std::vector<int>& carry);
+
+}  // namespace hxmesh::alloc

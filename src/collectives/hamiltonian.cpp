@@ -1,0 +1,114 @@
+#include "collectives/hamiltonian.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace hxmesh::collectives {
+
+bool disjoint_rings_supported(int rows, int cols) {
+  // cols >= 3: a 2-wide torus does not have enough distinct edges for two
+  // edge-disjoint Hamiltonian cycles (its horizontal links are doubled).
+  if (rows < 3 || cols < 3) return false;
+  if (rows % cols != 0) return false;
+  return std::gcd(rows, cols - 1) == 1;
+}
+
+DisjointRings disjoint_hamiltonian_rings(int rows, int cols) {
+  if (!disjoint_rings_supported(rows, cols))
+    throw std::invalid_argument(
+        "disjoint_hamiltonian_rings: need rows = cols*k, gcd(rows, cols-1)=1");
+  DisjointRings rings;
+  const int n = rows * cols;
+  rings.red.reserve(n);
+  rings.green.reserve(n);
+  for (int X = 0; X < n; ++X) {
+    int x1 = X / cols;
+    int x0 = X % cols;
+    int sheared = x0 + (cols - 1) * x1;
+    rings.red.emplace_back(x1 % rows, sheared % cols);
+    rings.green.emplace_back(sheared % rows, x1 % cols);
+  }
+  return rings;
+}
+
+namespace {
+
+// Sheared snake: row x1 visited left-to-right with a -x1 column shift, so
+// every row transition is a vertical unit step; closes iff cols | rows.
+std::vector<Coord> sheared_snake(int rows, int cols) {
+  std::vector<Coord> ring;
+  ring.reserve(rows * cols);
+  for (int X = 0; X < rows * cols; ++X) {
+    int x1 = X / cols;
+    int x0 = X % cols;
+    ring.emplace_back(x1, (x0 + (cols - 1) * x1) % cols);
+  }
+  return ring;
+}
+
+// Boustrophedon over columns 1..cols-1 with column 0 reserved for the
+// return leg. Pure grid steps; requires an even number of rows.
+std::vector<Coord> reserved_column_cycle(int rows, int cols) {
+  assert(rows % 2 == 0);
+  std::vector<Coord> ring;
+  ring.reserve(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    if (r % 2 == 0)
+      for (int c = (r == 0 ? 0 : 1); c < cols; ++c) ring.emplace_back(r, c);
+    else
+      for (int c = cols - 1; c >= 1; --c) ring.emplace_back(r, c);
+  }
+  for (int r = rows - 1; r >= 1; --r) ring.emplace_back(r, 0);
+  return ring;
+}
+
+std::vector<Coord> transpose(std::vector<Coord> ring) {
+  for (auto& [r, c] : ring) std::swap(r, c);
+  return ring;
+}
+
+}  // namespace
+
+std::vector<Coord> ring_order_grid(int rows, int cols) {
+  if (rows == 1 || cols == 1) {
+    // Degenerate 1D ring.
+    std::vector<Coord> ring;
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) ring.emplace_back(r, c);
+    return ring;
+  }
+  if (rows % cols == 0) return sheared_snake(rows, cols);
+  if (cols % rows == 0) return transpose(sheared_snake(cols, rows));
+  if (rows % 2 == 0) return reserved_column_cycle(rows, cols);
+  if (cols % 2 == 0) return transpose(reserved_column_cycle(cols, rows));
+  // Odd x odd without divisibility: boustrophedon path; the closing edge is
+  // not a unit step (documented in the header).
+  std::vector<Coord> ring;
+  ring.reserve(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    if (r % 2 == 0)
+      for (int c = 0; c < cols; ++c) ring.emplace_back(r, c);
+    else
+      for (int c = cols - 1; c >= 0; --c) ring.emplace_back(r, c);
+  }
+  return ring;
+}
+
+bool is_torus_neighbor_ring(const std::vector<Coord>& ring, int rows,
+                            int cols) {
+  if (ring.size() != static_cast<std::size_t>(rows) * cols) return false;
+  auto neighbors = [&](Coord a, Coord b) {
+    int dr = std::abs(a.first - b.first);
+    int dc = std::abs(a.second - b.second);
+    dr = std::min(dr, rows - dr);
+    dc = std::min(dc, cols - dc);
+    return (dr == 1 && dc == 0) || (dr == 0 && dc == 1);
+  };
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    if (!neighbors(ring[i], ring[(i + 1) % ring.size()])) return false;
+  return true;
+}
+
+}  // namespace hxmesh::collectives

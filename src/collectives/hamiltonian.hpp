@@ -1,0 +1,52 @@
+// Edge-disjoint Hamiltonian cycles on a 2D torus (Appendix D, Figure 16).
+//
+// Implements the construction of Bae, AlBdaiwi & Bose for an r x c torus
+// with r = c*k (k >= 1) and gcd(r, c-1) = 1, reconstructed from Listing 1
+// of the paper:
+//   red(X)   = ( X/c mod r,             (X%c + (c-1)*(X/c)) mod c )
+//   green(X) = ( (X%c + (c-1)*(X/c)) mod r,  X/c mod c )
+// Consecutive X (mod r*c) are torus neighbors on both rings, the rings are
+// Hamiltonian, and they share no torus edge — so together they use all four
+// ports of every accelerator, which is what lets the "two bidirectional
+// rings" allreduce reach T = 2*p*alpha + (S/2)*beta.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace hxmesh::collectives {
+
+/// Grid coordinate (row, col).
+using Coord = std::pair<int, int>;
+
+/// True when the Bae et al. construction applies: r = c*k and
+/// gcd(r, c-1) == 1.
+bool disjoint_rings_supported(int rows, int cols);
+
+struct DisjointRings {
+  std::vector<Coord> red;    // cycle order, length rows*cols
+  std::vector<Coord> green;  // cycle order, length rows*cols
+};
+
+/// Builds the two edge-disjoint Hamiltonian cycles; requires
+/// disjoint_rings_supported(rows, cols).
+DisjointRings disjoint_hamiltonian_rings(int rows, int cols);
+
+/// A single Hamiltonian cycle over a rows x cols grid whose consecutive
+/// elements are torus neighbors whenever one exists:
+///   - rows divisible by cols (or vice versa): sheared-snake torus cycle;
+///   - any even-sized grid: boustrophedon with a reserved return column
+///     (pure grid steps, no wrap edges needed);
+///   - odd x odd fallback: boustrophedon whose closing edge is not a unit
+///     step (callers mapping onto HammingMesh still work, the closing hop
+///     just routes over a rail).
+/// Returned as (row, col) coordinates in cycle order.
+std::vector<Coord> ring_order_grid(int rows, int cols);
+
+/// True if consecutive (and wrap-around) elements of `ring` are torus
+/// neighbors on a rows x cols torus. Used by tests and by the collective
+/// model to decide whether a mapping is contention-free.
+bool is_torus_neighbor_ring(const std::vector<Coord>& ring, int rows,
+                            int cols);
+
+}  // namespace hxmesh::collectives

@@ -1,0 +1,70 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+namespace hxmesh {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.n = values.size();
+  s.mean = mean(values);
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  s.min = values.front();
+  s.max = values.back();
+  s.p01 = percentile_sorted(values, 1);
+  s.p25 = percentile_sorted(values, 25);
+  s.median = percentile_sorted(values, 50);
+  s.p75 = percentile_sorted(values, 75);
+  s.p99 = percentile_sorted(values, 99);
+  return s;
+}
+
+std::vector<CdfPoint> weighted_cdf(const std::vector<double>& values,
+                                   const std::vector<double>& weights) {
+  std::map<double, double> weight_at;
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weight_at[values[i]] += weights[i];
+    total += weights[i];
+  }
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(weight_at.size());
+  double cum = 0.0;
+  for (const auto& [v, w] : weight_at) {
+    cum += w;
+    cdf.push_back({v, total > 0 ? cum / total : 0.0});
+  }
+  return cdf;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace hxmesh

@@ -1,0 +1,49 @@
+// Small descriptive-statistics helpers used by the experiment harnesses
+// (means, percentiles, CDFs, distribution summaries for the violin-style
+// figures in the paper).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hxmesh {
+
+/// Summary of a sample: n, mean, min/max, and selected percentiles.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p01 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary of `values`. Empty input yields an all-zero Summary.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolated percentile of a *sorted* sample; q in [0, 100].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& values);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;    // sample value (x axis)
+  double fraction = 0.0; // P(X <= value)  (y axis)
+};
+
+/// Empirical CDF of a weighted sample: fraction of total weight at or below
+/// each distinct value. `values` and `weights` must have equal length.
+std::vector<CdfPoint> weighted_cdf(const std::vector<double>& values,
+                                   const std::vector<double>& weights);
+
+/// Renders "12.3" style fixed-precision numbers (used by the harnesses).
+std::string fmt(double v, int precision = 1);
+
+}  // namespace hxmesh

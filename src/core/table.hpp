@@ -1,0 +1,31 @@
+// Minimal ASCII table renderer. Every benchmark harness prints its
+// table/figure data through this so the output of `bench/*` lines up with
+// the rows the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hxmesh {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a separator under the header.
+  std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hxmesh

@@ -1,0 +1,70 @@
+// Units and physical constants shared across the library.
+//
+// Conventions:
+//   - time:      double seconds in analytic models; uint64_t picoseconds in
+//                the packet-level simulator (exact integer arithmetic).
+//   - bandwidth: double bytes per second.
+//   - size:      uint64_t bytes.
+//
+// The default link/switch parameters follow Appendix F of the paper
+// (Table III): 400 Gb/s links, 8 KiB packets, 20 ns cable latency, 1 ns
+// on-board (PCB) latency, 40 ns input/output buffer latency.
+#pragma once
+
+#include <cstdint>
+
+namespace hxmesh {
+
+// -- sizes --------------------------------------------------------------
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+inline constexpr std::uint64_t KB = 1000ull;
+inline constexpr std::uint64_t MB = 1000ull * KB;
+inline constexpr std::uint64_t GB = 1000ull * MB;
+
+// -- time ---------------------------------------------------------------
+using picoseconds = std::uint64_t;
+
+inline constexpr picoseconds kPsPerNs = 1000ull;
+inline constexpr picoseconds kPsPerUs = 1000ull * kPsPerNs;
+inline constexpr picoseconds kPsPerMs = 1000ull * kPsPerUs;
+inline constexpr picoseconds kPsPerSec = 1000ull * kPsPerMs;
+
+/// Converts picoseconds to (double) seconds.
+constexpr double ps_to_s(picoseconds ps) {
+  return static_cast<double>(ps) * 1e-12;
+}
+
+/// Converts (double) seconds to picoseconds, rounding down.
+constexpr picoseconds s_to_ps(double s) {
+  return static_cast<picoseconds>(s * 1e12);
+}
+
+// -- link parameters (Appendix F) ----------------------------------------
+/// One network link: 400 Gb/s = 50 GB/s.
+inline constexpr double kLinkBandwidthBps = 50e9;
+
+/// Default packet payload size used by the packet-level simulator.
+inline constexpr std::uint64_t kPacketBytes = 8192;
+
+/// Latency of a DAC/AoC cable between boxes.
+inline constexpr picoseconds kCableLatencyPs = 20 * kPsPerNs;
+
+/// Latency of a PCB trace between accelerators on the same board.
+inline constexpr picoseconds kBoardLatencyPs = 1 * kPsPerNs;
+
+/// Switch input/output buffer latency (applied once per switch traversal).
+inline constexpr picoseconds kBufferLatencyPs = 40 * kPsPerNs;
+
+/// Per-port receive buffer size (32 MB in Appendix F; we default smaller so
+/// credit-based backpressure is actually exercised, which is configurable).
+inline constexpr std::uint64_t kDefaultBufferBytes = 256 * KiB;
+
+/// Serialization delay of `bytes` on a link of bandwidth `bps`.
+constexpr picoseconds serialization_ps(std::uint64_t bytes, double bps) {
+  return static_cast<picoseconds>(static_cast<double>(bytes) / bps * 1e12);
+}
+
+}  // namespace hxmesh

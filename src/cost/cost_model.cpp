@@ -1,0 +1,135 @@
+#include "cost/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace hxmesh::cost {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+Bom fat_tree_bom(const topo::FatTree& ft) {
+  // Appendix C counting: every populated leaf is fully cabled (d DAC down,
+  // u AoC up); for three levels the upper tiers form a nonblocking fat tree
+  // sized by the *tapered* leaf up-link count — this reproduces Table II
+  // exactly, including the tapered large clusters.
+  const auto& p = ft.params();
+  const int d = ft.down_ports(), u = ft.up_ports();
+  // Populated leaves only (the constructed graph rounds up to whole pods).
+  const int leaves = ceil_div(p.num_endpoints, d);
+  Bom bom;
+  long long switches = leaves;
+  long long dac = static_cast<long long>(leaves) * d;
+  long long aoc = static_cast<long long>(leaves) * u;
+  if (ft.levels() == 3) {
+    const int l2 = ceil_div(leaves * u, p.radix / 2);
+    const int l3 = ceil_div(l2, 2);
+    switches += l2 + l3;
+    aoc += static_cast<long long>(l2) * (p.radix / 2);
+  } else {
+    switches += ceil_div(leaves * u, p.radix);
+  }
+  bom.switches = switches * p.planes;
+  bom.dac_cables = dac * p.planes;
+  bom.aoc_cables = aoc * p.planes;
+  return bom;
+}
+
+Bom dragonfly_bom(const topo::Dragonfly& df) {
+  const auto& p = df.params();
+  const int a = p.routers_per_group, ep = p.endpoints_per_router;
+  const int h = p.global_per_router, g = p.groups;
+  const int radix = 64;
+  const int virtual_ports = ep + (a - 1) + h;
+  // Two virtual routers share a physical switch when both fit (their mutual
+  // local link becomes switch-internal, saving two ports).
+  const bool merged = 2 * virtual_ports - 2 <= radix;
+  Bom bom;
+  long long switches = static_cast<long long>(g) * a / (merged ? 2 : 1);
+  long long locals = merged
+                         ? static_cast<long long>(g) * (a * (a - 1) / 2 - a / 2)
+                         : static_cast<long long>(g) * a * (a - 1) / 2;
+  long long dac = static_cast<long long>(g) * a * ep + locals;
+  long long aoc = static_cast<long long>(g) * a * h / 2;
+  bom.switches = switches * p.planes;
+  bom.dac_cables = dac * p.planes;
+  bom.aoc_cables = aoc * p.planes;
+  return bom;
+}
+
+Bom torus_bom(const topo::Torus& t) {
+  const auto& p = t.params();
+  // One cable per accelerator line per board boundary (wrap included);
+  // on-board PCB links are free.
+  long long x_boundaries = p.width / p.board_a > 1 ? p.width / p.board_a : 0;
+  long long y_boundaries = p.height / p.board_b > 1 ? p.height / p.board_b : 0;
+  long long cables = static_cast<long long>(p.height) * x_boundaries +
+                     static_cast<long long>(p.width) * y_boundaries;
+  Bom bom;
+  bom.aoc_cables = cables * p.planes;
+  return bom;
+}
+
+Bom hxmesh_bom(const topo::HammingMesh& hx) {
+  const auto& p = hx.params();
+  Bom bom;
+  // Board edge ports: 2 per board per line; x-dimension cables are DAC,
+  // y-dimension AoC (Section III-D).
+  long long x_ports = 2LL * p.b * p.x * p.y;
+  long long y_ports = 2LL * p.a * p.x * p.y;
+  // Rail fat trees (when one switch per line does not suffice) add
+  // leaf-to-spine AoC cables.
+  auto tree_cables = [&](int boards, int lines) -> long long {
+    if (2 * boards <= p.radix) return 0;
+    int leaves = ceil_div(2 * boards, p.radix / 2);
+    int up = std::max(1, static_cast<int>((p.radix / 2) * p.rail_taper));
+    return static_cast<long long>(lines) * leaves * up;
+  };
+  long long x_tree = tree_cables(p.x, p.b * p.y);
+  long long y_tree = tree_cables(p.y, p.a * p.x);
+  bom.switches = static_cast<long long>(hx.num_switches()) * p.planes;
+  bom.dac_cables = x_ports * p.planes;
+  bom.aoc_cables = (y_ports + x_tree + y_tree) * p.planes;
+  return bom;
+}
+
+Bom hyperx_bom(const topo::HyperX& hx) {
+  const auto& p = hx.params();
+  const int radix = p.radix;
+  Bom bom;
+  long long dac = 2LL * p.x * p.y;  // x-dimension port cables
+  long long aoc = 2LL * p.x * p.y;  // y-dimension port cables
+  long long switches = 0;
+  auto add_dim = [&](int boards, int lines) {
+    if (2 * boards <= radix) {
+      switches += lines;
+      return;
+    }
+    int leaves = ceil_div(2 * boards, radix / 2);
+    int spines = ceil_div(leaves, 2);
+    switches += static_cast<long long>(lines) * (leaves + spines);
+    aoc += static_cast<long long>(lines) * leaves * (radix / 2);
+  };
+  add_dim(p.x, p.y);
+  add_dim(p.y, p.x);
+  bom.switches = switches * p.planes;
+  bom.dac_cables = dac * p.planes;
+  bom.aoc_cables = aoc * p.planes;
+  return bom;
+}
+
+Bom bom_for(const topo::Topology& topology) {
+  if (auto* ft = dynamic_cast<const topo::FatTree*>(&topology))
+    return fat_tree_bom(*ft);
+  if (auto* df = dynamic_cast<const topo::Dragonfly*>(&topology))
+    return dragonfly_bom(*df);
+  if (auto* t = dynamic_cast<const topo::Torus*>(&topology))
+    return torus_bom(*t);
+  if (auto* hx = dynamic_cast<const topo::HammingMesh*>(&topology))
+    return hxmesh_bom(*hx);
+  if (auto* hyx = dynamic_cast<const topo::HyperX*>(&topology))
+    return hyperx_bom(*hyx);
+  throw std::invalid_argument("bom_for: unknown topology type");
+}
+
+}  // namespace hxmesh::cost

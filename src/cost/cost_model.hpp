@@ -1,0 +1,60 @@
+// Capital-cost model (Section III-C, Appendices C and E).
+//
+// Networks are charged for switches, DAC copper cables, and AoC optical
+// cables; accelerator NICs, ports and PCBs are part of the endpoint package
+// and free. Counting conventions follow Appendix C:
+//   - fat trees: all leaf down-ports are counted as DAC (even spares),
+//     inter-switch links as AoC; 16 planes.
+//   - Dragonfly: local + endpoint cables DAC, globals AoC; two 31-port
+//     virtual routers share one physical 64-port switch where they fit;
+//     16 planes.
+//   - HammingMesh: one dimension's port cables DAC, the other's AoC; rail
+//     fat-tree internals AoC; single-switch rails are merged physically
+//     (several lines of a board row per 64-port switch); 4 planes.
+//   - torus: inter-board cables priced as AoC (see DESIGN.md §3.4 — the
+//     Table II numbers require optical pricing), on-board PCB free;
+//     4 planes.
+#pragma once
+
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hammingmesh.hpp"
+#include "topo/hyperx.hpp"
+#include "topo/torus.hpp"
+
+namespace hxmesh::cost {
+
+/// Unit prices from Appendix E (colfaxdirect.com, April 2022).
+struct Prices {
+  double switch_usd = 14280.0;  // 64-port switch
+  double aoc_usd = 603.0;       // 20 m active optical cable
+  double dac_usd = 272.0;       // 5 m direct-attach copper cable
+};
+
+/// Bill of materials for the full machine (all planes).
+struct Bom {
+  long long switches = 0;
+  long long dac_cables = 0;
+  long long aoc_cables = 0;
+
+  double total_usd(const Prices& prices = {}) const {
+    return static_cast<double>(switches) * prices.switch_usd +
+           static_cast<double>(dac_cables) * prices.dac_usd +
+           static_cast<double>(aoc_cables) * prices.aoc_usd;
+  }
+  double total_musd(const Prices& prices = {}) const {
+    return total_usd(prices) / 1e6;
+  }
+};
+
+Bom fat_tree_bom(const topo::FatTree& ft);
+Bom dragonfly_bom(const topo::Dragonfly& df);
+Bom torus_bom(const topo::Torus& t);
+Bom hxmesh_bom(const topo::HammingMesh& hx);
+/// Priced as the equivalent rail-based Hx1Mesh (Appendix C).
+Bom hyperx_bom(const topo::HyperX& hx);
+
+/// Dispatches on the concrete topology type.
+Bom bom_for(const topo::Topology& topology);
+
+}  // namespace hxmesh::cost

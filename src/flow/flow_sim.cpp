@@ -1,0 +1,86 @@
+#include "flow/flow_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hxmesh::flow {
+
+FlowSolver::FlowSolver(const topo::Topology& topology, FlowSolverConfig config)
+    : topology_(topology), config_(config) {}
+
+void FlowSolver::solve(std::vector<Flow>& flows) const {
+  const topo::Graph& g = topology_.graph();
+  Rng rng(config_.seed);
+
+  // Sample subflow paths, flattened for cache friendliness.
+  struct Subflow {
+    int flow = 0;
+    std::uint32_t first = 0;  // into path_links
+    std::uint32_t count = 0;
+    double rate = 0.0;
+    bool active = true;
+  };
+  std::vector<Subflow> subflows;
+  std::vector<topo::LinkId> path_links;
+  std::vector<topo::LinkId> path;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    flows[f].rate = 0.0;
+    if (flows[f].src == flows[f].dst) continue;
+    for (int k = 0; k < config_.paths_per_flow; ++k) {
+      topology_.sample_path_stratified(flows[f].src, flows[f].dst, k,
+                                       config_.paths_per_flow, rng, path);
+      Subflow s;
+      s.flow = static_cast<int>(f);
+      s.first = static_cast<std::uint32_t>(path_links.size());
+      s.count = static_cast<std::uint32_t>(path.size());
+      path_links.insert(path_links.end(), path.begin(), path.end());
+      subflows.push_back(s);
+    }
+  }
+
+  std::vector<double> residual(g.num_links());
+  for (std::size_t l = 0; l < g.num_links(); ++l)
+    residual[l] = g.link(static_cast<topo::LinkId>(l)).bandwidth_bps;
+  std::vector<std::uint32_t> active_count(g.num_links(), 0);
+  for (const Subflow& s : subflows)
+    for (std::uint32_t i = 0; i < s.count; ++i)
+      ++active_count[path_links[s.first + i]];
+
+  // Progressive filling: raise all active subflows by the smallest per-link
+  // fair share, then freeze the subflows crossing saturated links.
+  std::size_t remaining = subflows.size();
+  for (int round = 0; round < config_.max_filling_rounds && remaining > 0;
+       ++round) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < g.num_links(); ++l)
+      if (active_count[l] > 0)
+        delta = std::min(delta, residual[l] / active_count[l]);
+    if (!std::isfinite(delta)) break;
+
+    for (std::size_t l = 0; l < g.num_links(); ++l)
+      if (active_count[l] > 0) residual[l] -= delta * active_count[l];
+
+    // A link is saturated when its residual share is (numerically) gone.
+    const double eps = 1e-6 * kLinkBandwidthBps;
+    bool last_round = round + 1 == config_.max_filling_rounds;
+    for (Subflow& s : subflows) {
+      if (!s.active) continue;
+      s.rate += delta;
+      bool frozen = last_round;
+      for (std::uint32_t i = 0; i < s.count && !frozen; ++i)
+        frozen = residual[path_links[s.first + i]] <= eps;
+      if (frozen) {
+        s.active = false;
+        --remaining;
+        for (std::uint32_t i = 0; i < s.count; ++i)
+          --active_count[path_links[s.first + i]];
+      }
+    }
+  }
+
+  for (const Subflow& s : subflows) flows[s.flow].rate += s.rate;
+}
+
+}  // namespace hxmesh::flow

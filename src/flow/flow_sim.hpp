@@ -1,0 +1,49 @@
+// Flow-level steady-state network simulator.
+//
+// Computes max-min fair bandwidth shares for a set of flows with infinite
+// demand. Each flow is spread over `paths_per_flow` randomly sampled minimal
+// paths (approximating the packet-level adaptive routing the paper assumes);
+// progressive filling then raises all subflow rates together, freezing
+// subflows as links saturate. This reproduces the steady-state bandwidth
+// numbers of Table II and Figures 11-13/17 for large messages; the
+// packet-level simulator (src/sim) cross-validates it at small scale.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace hxmesh::flow {
+
+/// One flow between two accelerators. `rate` is filled in by solve().
+struct Flow {
+  int src = 0;
+  int dst = 0;
+  double rate = 0.0;  // bytes/s, output of the solver
+};
+
+struct FlowSolverConfig {
+  int paths_per_flow = 8;
+  std::uint64_t seed = 0x5eed;
+  int max_filling_rounds = 400;  // progressive-filling safety cap
+};
+
+class FlowSolver {
+ public:
+  explicit FlowSolver(const topo::Topology& topology,
+                      FlowSolverConfig config = {});
+
+  /// Computes max-min fair rates for all flows (bytes/s, written into
+  /// flows[i].rate). Flows with src == dst get rate 0 and are ignored.
+  void solve(std::vector<Flow>& flows) const;
+
+  const topo::Topology& topology() const { return topology_; }
+  const FlowSolverConfig& config() const { return config_; }
+
+ private:
+  const topo::Topology& topology_;
+  FlowSolverConfig config_;
+};
+
+}  // namespace hxmesh::flow

@@ -1,0 +1,40 @@
+#include "flow/patterns.hpp"
+
+#include <numeric>
+
+namespace hxmesh::flow {
+
+std::vector<Flow> shift_pattern(int n, int shift) {
+  std::vector<Flow> flows;
+  flows.reserve(n);
+  for (int j = 0; j < n; ++j) flows.push_back({j, (j + shift) % n, 0.0});
+  return flows;
+}
+
+std::vector<Flow> random_permutation(int n, Rng& rng) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  // Repair fixed points: rotate each with its successor in the permutation
+  // array (the successor cannot also be a fixed point afterwards).
+  for (int i = 0; i < n; ++i)
+    if (perm[i] == i) std::swap(perm[i], perm[(i + 1) % n]);
+  std::vector<Flow> flows;
+  flows.reserve(n);
+  for (int i = 0; i < n; ++i) flows.push_back({i, perm[i], 0.0});
+  return flows;
+}
+
+std::vector<Flow> ring_flows(const std::vector<int>& ring,
+                             bool bidirectional) {
+  std::vector<Flow> flows;
+  const int n = static_cast<int>(ring.size());
+  flows.reserve(bidirectional ? 2 * n : n);
+  for (int i = 0; i < n; ++i) {
+    flows.push_back({ring[i], ring[(i + 1) % n], 0.0});
+    if (bidirectional) flows.push_back({ring[(i + 1) % n], ring[i], 0.0});
+  }
+  return flows;
+}
+
+}  // namespace hxmesh::flow

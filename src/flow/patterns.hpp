@@ -1,0 +1,23 @@
+// Traffic pattern generators used by the microbenchmarks (Section V-A).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "flow/flow_sim.hpp"
+
+namespace hxmesh::flow {
+
+/// One round of the balanced-shift alltoall: rank j sends to (j + shift) % n.
+std::vector<Flow> shift_pattern(int n, int shift);
+
+/// Random permutation traffic: each rank sends to a unique random peer and
+/// no rank sends to itself (fixed points are repaired by rotation).
+std::vector<Flow> random_permutation(int n, Rng& rng);
+
+/// Neighbor flows of a cyclic order (`ring[i] -> ring[i+1]`), optionally in
+/// both directions — the steady-state traffic of a pipelined ring
+/// reduction mapped onto that ring.
+std::vector<Flow> ring_flows(const std::vector<int>& ring, bool bidirectional);
+
+}  // namespace hxmesh::flow

@@ -1,0 +1,190 @@
+#include "routing/deadlock.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hxmesh::routing {
+
+using topo::LinkId;
+using topo::NodeId;
+
+namespace {
+
+// Channel id = link * num_vcs + vc.
+struct CdgBuilder {
+  const topo::Topology& topo;
+  int num_vcs;
+  const TurnFilter& filter;
+  std::vector<std::vector<std::uint32_t>> adj;   // channel -> channels
+  std::unordered_set<std::uint64_t> seen;        // dedup of edges
+  std::size_t dependencies = 0;
+
+  int vc_after(int vc, LinkId out) const {
+    const topo::Graph& g = topo.graph();
+    const topo::Link& l = g.link(out);
+    if (g.kind(l.src) == topo::NodeKind::kEndpoint &&
+        g.kind(l.dst) == topo::NodeKind::kSwitch)
+      return std::min(vc + 1, num_vcs - 1);
+    return vc;
+  }
+
+  void add_edge(std::uint32_t from, std::uint32_t to) {
+    std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+    if (seen.insert(key).second) {
+      adj[from].push_back(to);
+      ++dependencies;
+    }
+  }
+
+  bool is_rail_entry(LinkId out) const {
+    const topo::Graph& g = topo.graph();
+    const topo::Link& l = g.link(out);
+    return g.kind(l.src) == topo::NodeKind::kEndpoint &&
+           g.kind(l.dst) == topo::NodeKind::kSwitch;
+  }
+
+  // Minimum number of accelerator->switch (VC-escalating) hops on any
+  // remaining minimal path from each node to `goal`. A real packet's VC
+  // equals the escalations already taken, and any minimal route takes at
+  // most num_vcs-1 in total, so channel (l, v) is only reachable when
+  // v + rails_min[l.dst] <= num_vcs - 1. This prunes physically impossible
+  // states (e.g. a third rail entry) that would otherwise report cycles.
+  std::vector<int> rails_min(NodeId goal,
+                             const std::vector<std::int32_t>& dist,
+                             int dst) const {
+    const topo::Graph& g = topo.graph();
+    std::vector<int> rails(g.num_nodes(), 1 << 20);
+    rails[goal] = 0;
+    std::vector<NodeId> order(g.num_nodes());
+    for (NodeId n = 0; n < g.num_nodes(); ++n) order[n] = n;
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return dist[a] < dist[b]; });
+    for (NodeId n : order) {
+      if (n == goal || dist[n] < 0) continue;
+      for (LinkId l : g.out_links(n))
+        if (dist[g.link(l).dst] == dist[n] - 1 &&
+            (!filter || filter(n, dst, l)))
+          rails[n] = std::min(rails[n],
+                              (is_rail_entry(l) ? 1 : 0) +
+                                  rails[g.link(l).dst]);
+    }
+    return rails;
+  }
+
+  void build() {
+    const topo::Graph& g = topo.graph();
+    adj.resize(g.num_links() * num_vcs);
+    for (int dst = 0; dst < topo.num_endpoints(); ++dst) {
+      NodeId goal = topo.endpoint_node(dst);
+      const auto& dist = topo.dist_field(goal);
+      const auto rails = rails_min(goal, dist, dst);
+      for (NodeId n = 0; n < g.num_nodes(); ++n) {
+        if (n == goal || dist[n] < 0) continue;
+        // Minimal (optionally filtered) candidates out of n toward dst.
+        std::vector<LinkId> outs;
+        for (LinkId l : g.out_links(n))
+          if (dist[g.link(l).dst] == dist[n] - 1 &&
+              (!filter || filter(n, dst, l)))
+            outs.push_back(l);
+        if (outs.empty()) continue;
+        // Dependencies from every in-channel that could hold such a packet.
+        for (std::size_t li = 0; li < g.num_links(); ++li) {
+          const topo::Link& lin = g.link(static_cast<LinkId>(li));
+          if (lin.dst != n) continue;
+          // The in-link must itself be a hop the routing could have taken
+          // toward this destination: minimal and filter-permitted.
+          if (dist[lin.src] != dist[n] + 1) continue;
+          if (filter && !filter(lin.src, dst, static_cast<LinkId>(li)))
+            continue;
+          for (int v = 0; v < num_vcs; ++v) {
+            if (v + rails[n] > num_vcs - 1) continue;  // unreachable state
+            for (LinkId out : outs) {
+              int v2 = vc_after(v, out);
+              if (v2 + rails[g.link(out).dst] > num_vcs - 1) continue;
+              add_edge(static_cast<std::uint32_t>(li * num_vcs + v),
+                       static_cast<std::uint32_t>(out * num_vcs + v2));
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+// Iterative three-color DFS cycle detection returning a witness cycle.
+bool find_cycle(const std::vector<std::vector<std::uint32_t>>& adj,
+                std::vector<std::uint32_t>& cycle) {
+  std::vector<std::uint8_t> color(adj.size(), 0);  // 0 white 1 gray 2 black
+  std::vector<std::uint32_t> stack, path;
+  for (std::uint32_t s = 0; s < adj.size(); ++s) {
+    if (color[s] != 0) continue;
+    // (node, edge index) explicit DFS
+    std::vector<std::pair<std::uint32_t, std::size_t>> frames{{s, 0}};
+    color[s] = 1;
+    path.assign(1, s);
+    while (!frames.empty()) {
+      auto& [u, idx] = frames.back();
+      if (idx < adj[u].size()) {
+        std::uint32_t v = adj[u][idx++];
+        if (color[v] == 1) {
+          // Found a cycle: extract it from the path.
+          auto it = std::find(path.begin(), path.end(), v);
+          cycle.assign(it, path.end());
+          return true;
+        }
+        if (color[v] == 0) {
+          color[v] = 1;
+          frames.push_back({v, 0});
+          path.push_back(v);
+        }
+      } else {
+        color[u] = 2;
+        frames.pop_back();
+        path.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DeadlockReport analyze(const topo::Topology& topology, int num_vcs,
+                       const TurnFilter& filter) {
+  CdgBuilder builder{topology, num_vcs, filter, {}, {}, 0};
+  builder.build();
+  DeadlockReport report;
+  report.channels = builder.adj.size();
+  report.dependencies = builder.dependencies;
+  std::vector<std::uint32_t> cycle;
+  report.deadlock_free = !find_cycle(builder.adj, cycle);
+  for (std::uint32_t c : cycle)
+    report.cycle.emplace_back(static_cast<LinkId>(c / num_vcs),
+                              static_cast<int>(c % num_vcs));
+  return report;
+}
+
+TurnFilter north_last_filter(const topo::HammingMesh& hx) {
+  return [&hx](NodeId node, int dst_rank, LinkId out) {
+    const topo::Graph& g = hx.graph();
+    const topo::Link& l = g.link(out);
+    // Only on-board accelerator-to-accelerator hops are restricted.
+    int src_rank = hx.rank_of(l.src);
+    int nbr_rank = hx.rank_of(l.dst);
+    (void)node;
+    if (src_rank < 0 || nbr_rank < 0) return true;
+    bool north = hx.gy_of(nbr_rank) == hx.gy_of(src_rank) + 1;
+    if (!north) return true;
+    // North is allowed only when no x-direction work remains: the packet
+    // must already be in the destination's column, or at its board-exit
+    // column if the destination is on another board column.
+    int gx = hx.gx_of(src_rank), dgx = hx.gx_of(dst_rank);
+    if (hx.board_x_of(src_rank) == hx.board_x_of(dst_rank)) return gx == dgx;
+    // Different board column: x work (reaching a W/E edge) comes first.
+    int a = hx.params().a;
+    int i = gx % a;
+    return i == 0 || i == a - 1;
+  };
+}
+
+}  // namespace hxmesh::routing

@@ -1,0 +1,50 @@
+// Deadlock-freedom analysis via channel dependency graphs (Section IV-C3).
+//
+// A channel is a (directed link, virtual channel) pair. For every possible
+// destination, a packet holding channel (l1, v) at node n may request any
+// minimal next hop (l2, v') with v' escalated on accelerator-to-switch
+// hops — exactly the packet simulator's routing. Dandamudi/Dally theory:
+// if the union of these dependencies over all destinations is acyclic, the
+// routing is deadlock-free regardless of buffer sizes.
+//
+// The paper's scheme restricts on-board turns with *north-last* routing
+// ("the north direction can only be taken by switches on the same column
+// of the destination board") and escalates the VC on every board-to-rail
+// injection, capping at three VCs. analyze() lets tests demonstrate both
+// halves: unrestricted minimal-adaptive routing on a HammingMesh board
+// produces a channel cycle; adding the north-last restriction removes it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "topo/hammingmesh.hpp"
+#include "topo/topology.hpp"
+
+namespace hxmesh::routing {
+
+struct DeadlockReport {
+  bool deadlock_free = false;
+  /// One channel cycle witness (as (link, vc) pairs) when not free.
+  std::vector<std::pair<topo::LinkId, int>> cycle;
+  std::size_t channels = 0;
+  std::size_t dependencies = 0;
+};
+
+/// Candidate filter: may a packet at `node` heading to endpoint `dst_rank`
+/// take `out_link`? Return false to forbid the turn. The default (nullptr)
+/// allows every minimal candidate (fully adaptive).
+using TurnFilter =
+    std::function<bool(topo::NodeId node, int dst_rank, topo::LinkId out)>;
+
+/// Builds the channel dependency graph of minimal adaptive routing with
+/// `num_vcs` virtual channels (VC escalates on accelerator->switch hops)
+/// and checks it for cycles.
+DeadlockReport analyze(const topo::Topology& topology, int num_vcs,
+                       const TurnFilter& filter = nullptr);
+
+/// North-last turn restriction for a HammingMesh: a +y ("north") on-board
+/// hop is only allowed once the packet has no x-direction work left.
+TurnFilter north_last_filter(const topo::HammingMesh& hx);
+
+}  // namespace hxmesh::routing

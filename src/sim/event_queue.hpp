@@ -1,0 +1,64 @@
+// Discrete-event scheduler: a time-ordered queue of callbacks with a
+// deterministic FIFO tie-break for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace hxmesh::sim {
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void schedule(picoseconds when, std::function<void()> fn) {
+    heap_.push(Entry{when, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` `delay` after the current time.
+  void schedule_in(picoseconds delay, std::function<void()> fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  picoseconds now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Runs events until the queue drains; returns the final time.
+  picoseconds run() {
+    while (!heap_.empty()) step();
+    return now_;
+  }
+
+  /// Executes the single earliest event.
+  void step() {
+    // std::priority_queue::top() is const; the handler is moved out via a
+    // const_cast that is safe because the entry is popped immediately.
+    auto& top = const_cast<Entry&>(heap_.top());
+    now_ = top.time;
+    auto fn = std::move(top.fn);
+    heap_.pop();
+    ++processed_;
+    fn();
+  }
+
+ private:
+  struct Entry {
+    picoseconds time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  picoseconds now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hxmesh::sim

@@ -1,0 +1,46 @@
+#include "sim/minimpi.hpp"
+
+#include <memory>
+
+namespace hxmesh::sim {
+
+void MiniMpi::send(int src, int dst, int tag, Payload data) {
+  auto bytes = static_cast<std::uint64_t>(data.size()) * sizeof(float);
+  // The payload rides along with the message and is handed to the receiver
+  // when the final packet arrives.
+  auto holder = std::make_shared<Payload>(std::move(data));
+  sim_.send_message(src, dst, bytes, [this, src, dst, tag, holder]() mutable {
+    deliver(dst, src, tag, std::move(*holder));
+  });
+}
+
+void MiniMpi::recv(int rank, int src, int tag, RecvHandler handler) {
+  Key key{rank, src, tag};
+  auto it = unexpected_.find(key);
+  if (it != unexpected_.end() && !it->second.empty()) {
+    Payload data = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) unexpected_.erase(it);
+    // Fire "now" but from a fresh event, keeping callback discipline.
+    auto holder = std::make_shared<Payload>(std::move(data));
+    auto h = std::make_shared<RecvHandler>(std::move(handler));
+    sim_.schedule_in(0, [holder, h]() mutable { (*h)(std::move(*holder)); });
+    return;
+  }
+  pending_[key].push_back(std::move(handler));
+}
+
+void MiniMpi::deliver(int rank, int src, int tag, Payload data) {
+  Key key{rank, src, tag};
+  auto it = pending_.find(key);
+  if (it != pending_.end() && !it->second.empty()) {
+    RecvHandler handler = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) pending_.erase(it);
+    handler(std::move(data));
+    return;
+  }
+  unexpected_[key].push_back(std::move(data));
+}
+
+}  // namespace hxmesh::sim

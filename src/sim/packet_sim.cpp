@@ -1,0 +1,215 @@
+#include "sim/packet_sim.hpp"
+
+#include <cassert>
+
+namespace hxmesh::sim {
+
+using topo::LinkId;
+using topo::NodeId;
+
+PacketSim::PacketSim(const topo::Topology& topology, PacketSimConfig config)
+    : topology_(topology), config_(config) {
+  const topo::Graph& g = topology_.graph();
+  link_busy_until_.assign(g.num_links(), 0);
+  link_bytes_.assign(g.num_links(), 0);
+  credits_.assign(g.num_links() * config_.num_vcs,
+                  config_.buffer_bytes_per_vc);
+  input_.resize(g.num_links() * config_.num_vcs);
+  rr_.assign(g.num_nodes(), 0);
+  in_links_.resize(g.num_nodes());
+  for (std::size_t l = 0; l < g.num_links(); ++l)
+    in_links_[g.link(static_cast<LinkId>(l)).dst].push_back(
+        static_cast<LinkId>(l));
+  inject_queue_.resize(topology_.num_endpoints());
+}
+
+int PacketSim::vc_after(const Packet& p, LinkId link) const {
+  // VC escalates when an accelerator injects into a switch network (a board
+  // jumping into a rail/fat tree, Section IV-C3). On-board accelerator-to-
+  // accelerator hops and switch-to-switch hops keep their VC.
+  const topo::Graph& g = topology_.graph();
+  const topo::Link& l = g.link(link);
+  if (g.kind(l.src) == topo::NodeKind::kEndpoint &&
+      g.kind(l.dst) == topo::NodeKind::kSwitch)
+    return std::min<int>(p.vc + 1, config_.num_vcs - 1);
+  return p.vc;
+}
+
+void PacketSim::send_message(int src, int dst, std::uint64_t bytes,
+                             std::function<void()> on_delivered) {
+  assert(src != dst && "send_message: src == dst");
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes == 0 ? 1 : bytes;  // zero-byte messages still carry a header
+  m.packets_total = (m.bytes + config_.packet_bytes - 1) / config_.packet_bytes;
+  m.on_delivered = std::move(on_delivered);
+  messages_.push_back(std::move(m));
+  ++unfinished_;
+  inject_queue_[src].push_back(static_cast<std::uint32_t>(messages_.size() - 1));
+  try_inject(src);
+}
+
+void PacketSim::try_inject(int src) {
+  const topo::Graph& g = topology_.graph();
+  NodeId node = topology_.endpoint_node(src);
+  auto& queue = inject_queue_[src];
+  while (!queue.empty()) {
+    Message& m = messages_[queue.front()];
+    if (m.packets_injected == m.packets_total) {
+      queue.pop_front();
+      continue;
+    }
+    NodeId dst_node = topology_.endpoint_node(m.dst);
+    const auto& dist = topology_.dist_field(dst_node);
+    // Adaptive injection: among minimal next hops that are free and have
+    // credit, pick the one with the most downstream buffer space.
+    LinkId best = topo::kInvalidLink;
+    int best_vc = 0;
+    std::uint64_t best_credit = 0;
+    std::uint64_t remaining =
+        m.bytes - m.packets_injected * config_.packet_bytes;
+    std::uint32_t pkt_bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.packet_bytes, remaining));
+    for (LinkId l : g.out_links(node)) {
+      if (dist[g.link(l).dst] != dist[node] - 1) continue;
+      if (link_busy_until_[l] > events_.now()) continue;
+      Packet probe{0, pkt_bytes, dst_node, 0, 0, 0};
+      int vc = vc_after(probe, l);
+      if (credits(l, vc) < pkt_bytes) continue;
+      if (credits(l, vc) > best_credit) {
+        best = l;
+        best_vc = vc;
+        best_credit = credits(l, vc);
+      }
+    }
+    if (best == topo::kInvalidLink) return;  // retried on link-free / credit
+
+    std::uint32_t pid;
+    if (!free_packets_.empty()) {
+      pid = free_packets_.back();
+      free_packets_.pop_back();
+    } else {
+      packets_.emplace_back();
+      pid = static_cast<std::uint32_t>(packets_.size() - 1);
+    }
+    Packet& p = packets_[pid];
+    p.message = queue.front();
+    p.bytes = pkt_bytes;
+    p.dst_node = dst_node;
+    p.vc = static_cast<std::uint8_t>(best_vc);
+    p.hops = 0;
+    p.injected_at = events_.now();
+    ++m.packets_injected;
+    start_transmission(pid, best);
+  }
+}
+
+void PacketSim::start_transmission(std::uint32_t packet_id, LinkId link) {
+  const topo::Graph& g = topology_.graph();
+  Packet& p = packets_[packet_id];
+  const topo::Link& l = g.link(link);
+  assert(link_busy_until_[link] <= events_.now());
+  assert(credits(link, p.vc) >= p.bytes);
+  credits(link, p.vc) -= p.bytes;
+  link_bytes_[link] += p.bytes;
+
+  picoseconds ser = serialization_ps(p.bytes, l.bandwidth_bps);
+  picoseconds free_at = events_.now() + ser;
+  link_busy_until_[link] = free_at;
+  NodeId src_node = l.src;
+  events_.schedule(free_at, [this, src_node] {
+    try_forward(src_node);
+    int rank = topology_.rank_of(src_node);
+    if (rank >= 0) try_inject(rank);
+  });
+
+  picoseconds arrive_at = free_at + l.latency_ps + config_.switch_latency_ps;
+  events_.schedule(arrive_at, [this, packet_id, link] {
+    Packet& pkt = packets_[packet_id];
+    const topo::Link& lnk = topology_.graph().link(link);
+    ++pkt.hops;
+    if (lnk.dst == pkt.dst_node) {
+      // Delivered: the endpoint consumes instantly; return the credit.
+      Message& m = messages_[pkt.message];
+      m.bytes_delivered += pkt.bytes;
+      ++stats_.packets_delivered;
+      stats_.packet_hops += pkt.hops;
+      stats_.sum_packet_latency_s +=
+          ps_to_s(events_.now() - pkt.injected_at);
+      std::uint32_t bytes = pkt.bytes;
+      int vc = pkt.vc;
+      free_packets_.push_back(packet_id);
+      events_.schedule_in(lnk.latency_ps, [this, link, vc, bytes] {
+        credits(link, vc) += bytes;
+        NodeId n = topology_.graph().link(link).src;
+        try_forward(n);
+        int rank = topology_.rank_of(n);
+        if (rank >= 0) try_inject(rank);
+      });
+      if (m.bytes_delivered >= m.bytes) {
+        ++stats_.messages_delivered;
+        --unfinished_;
+        if (m.on_delivered) m.on_delivered();
+      }
+      return;
+    }
+    input_[static_cast<std::size_t>(link) * config_.num_vcs + pkt.vc]
+        .queue.push_back(packet_id);
+    try_forward(lnk.dst);
+  });
+}
+
+void PacketSim::try_forward(NodeId node) {
+  const topo::Graph& g = topology_.graph();
+  const auto& ins = in_links_[node];
+  if (ins.empty()) return;
+  const std::uint32_t slots =
+      static_cast<std::uint32_t>(ins.size()) * config_.num_vcs;
+  std::uint32_t start = rr_[node] % slots;
+  for (std::uint32_t off = 0; off < slots; ++off) {
+    std::uint32_t slot = (start + off) % slots;
+    LinkId in_link = ins[slot / config_.num_vcs];
+    int in_vc = static_cast<int>(slot % config_.num_vcs);
+    auto& buf =
+        input_[static_cast<std::size_t>(in_link) * config_.num_vcs + in_vc];
+    if (buf.queue.empty()) continue;
+    std::uint32_t pid = buf.queue.front();
+    Packet& p = packets_[pid];
+    const auto& dist = topology_.dist_field(p.dst_node);
+    LinkId best = topo::kInvalidLink;
+    int best_vc = 0;
+    std::uint64_t best_credit = 0;
+    for (LinkId l : g.out_links(node)) {
+      if (dist[g.link(l).dst] != dist[node] - 1) continue;
+      if (link_busy_until_[l] > events_.now()) continue;
+      int vc = vc_after(p, l);
+      if (credits(l, vc) < p.bytes) continue;
+      if (credits(l, vc) > best_credit) {
+        best = l;
+        best_vc = vc;
+        best_credit = credits(l, vc);
+      }
+    }
+    if (best == topo::kInvalidLink) continue;  // head blocked on this buffer
+
+    buf.queue.pop_front();
+    rr_[node] = slot + 1;  // fairness: resume after the serviced buffer
+    // Return the input-buffer credit to the upstream sender.
+    std::uint32_t bytes = p.bytes;
+    const topo::Link& in = g.link(in_link);
+    events_.schedule_in(in.latency_ps, [this, in_link, in_vc, bytes] {
+      credits(in_link, in_vc) += bytes;
+      NodeId n = topology_.graph().link(in_link).src;
+      try_forward(n);
+      int rank = topology_.rank_of(n);
+      if (rank >= 0) try_inject(rank);
+    });
+    p.vc = static_cast<std::uint8_t>(best_vc);
+    start_transmission(pid, best);
+  }
+}
+
+picoseconds PacketSim::run() { return events_.run(); }
+
+}  // namespace hxmesh::sim

@@ -1,0 +1,135 @@
+// Packet-level network simulator (the SST substitute, Appendix F).
+//
+// Model: virtual cut-through at packet granularity. Every directed link is
+// a serialization server (one packet at a time, bytes/bandwidth); switches
+// are input-buffered with per-(input link, VC) FIFO queues, credit-based
+// flow control toward the upstream sender, and round-robin arbitration.
+// Routing is adaptive minimal: at every node the candidate next hops are
+// the links that strictly decrease the BFS hop distance to the
+// destination, and the least-loaded candidate with credit wins. Packets
+// move to a higher virtual channel whenever they are injected from an
+// accelerator into a switch (board -> rail in HammingMesh), which caps at
+// three VCs exactly as Section IV-C3 prescribes.
+//
+// Messages are sequences of packets; the caller gets a callback when the
+// last byte of a message arrives. Payload bytes are not simulated — timing
+// is bandwidth/latency-accurate, contents travel with the message object
+// (see MiniMpi).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "topo/topology.hpp"
+
+namespace hxmesh::sim {
+
+struct PacketSimConfig {
+  std::uint64_t packet_bytes = kPacketBytes;      // 8 KiB (Appendix F)
+  std::uint64_t buffer_bytes_per_vc = 32 * MiB;   // per input port (App. F)
+  int num_vcs = 3;
+  picoseconds switch_latency_ps = kBufferLatencyPs;  // in/out buffer, 40 ns
+};
+
+/// Statistics exposed after (or during) a run.
+struct PacketSimStats {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packet_hops = 0;
+  std::uint64_t messages_delivered = 0;
+  double sum_packet_latency_s = 0.0;
+
+  double avg_packet_latency_s() const {
+    return packets_delivered ? sum_packet_latency_s / packets_delivered : 0.0;
+  }
+  double avg_hops() const {
+    return packets_delivered
+               ? static_cast<double>(packet_hops) / packets_delivered
+               : 0.0;
+  }
+};
+
+class PacketSim {
+ public:
+  explicit PacketSim(const topo::Topology& topology,
+                     PacketSimConfig config = {});
+
+  /// Queues a message of `bytes` from accelerator `src` to `dst`;
+  /// `on_delivered` fires (at simulated delivery time) when the last packet
+  /// arrives. Messages from a src are injected in FIFO order.
+  void send_message(int src, int dst, std::uint64_t bytes,
+                    std::function<void()> on_delivered);
+
+  /// Schedules `fn` at simulated time `now + delay` (for compute phases).
+  void schedule_in(picoseconds delay, std::function<void()> fn) {
+    events_.schedule_in(delay, std::move(fn));
+  }
+
+  /// Runs until the event queue drains. Returns the finish time. If
+  /// messages remain undelivered afterwards the network is deadlocked
+  /// (query unfinished_messages()).
+  picoseconds run();
+
+  picoseconds now() const { return events_.now(); }
+  const PacketSimStats& stats() const { return stats_; }
+  int unfinished_messages() const { return unfinished_; }
+  const topo::Topology& topology() const { return topology_; }
+
+  /// Total bytes that crossed each link (for utilization studies).
+  const std::vector<std::uint64_t>& link_bytes() const { return link_bytes_; }
+
+ private:
+  struct Message {
+    int src, dst;
+    std::uint64_t bytes;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t packets_total = 0, packets_injected = 0;
+    std::function<void()> on_delivered;
+  };
+  struct Packet {
+    std::uint32_t message;
+    std::uint32_t bytes;
+    topo::NodeId dst_node;
+    std::uint8_t vc;
+    std::uint8_t hops = 0;
+    picoseconds injected_at = 0;
+  };
+  // One per-(input link, VC) FIFO at the downstream node of each link.
+  struct InputBuffer {
+    std::deque<std::uint32_t> queue;  // packet ids
+  };
+
+  void try_inject(int src);
+  void try_forward(topo::NodeId node);
+  void start_transmission(std::uint32_t packet_id, topo::LinkId link);
+  int vc_after(const Packet& p, topo::LinkId link) const;
+  std::uint64_t& credits(topo::LinkId link, int vc) {
+    return credits_[static_cast<std::size_t>(link) * config_.num_vcs + vc];
+  }
+
+  const topo::Topology& topology_;
+  PacketSimConfig config_;
+  EventQueue events_;
+  PacketSimStats stats_;
+
+  std::vector<Message> messages_;
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> free_packets_;
+
+  std::vector<picoseconds> link_busy_until_;
+  std::vector<std::uint64_t> credits_;  // [link][vc], bytes available
+  std::vector<std::uint64_t> link_bytes_;
+  // Input buffers indexed by link (the buffer sits at link.dst), per VC.
+  std::vector<InputBuffer> input_;
+  // Per-node round-robin cursor over (in-link, vc) pairs.
+  std::vector<std::uint32_t> rr_;
+  // In-links per node (cached from the graph).
+  std::vector<std::vector<topo::LinkId>> in_links_;
+  // Injection queues: per endpoint, messages waiting to emit packets.
+  std::vector<std::deque<std::uint32_t>> inject_queue_;
+  int unfinished_ = 0;
+};
+
+}  // namespace hxmesh::sim

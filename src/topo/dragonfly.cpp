@@ -1,0 +1,126 @@
+#include "topo/dragonfly.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace hxmesh::topo {
+
+Dragonfly::Dragonfly(DragonflyParams params) : params_(params) {
+  const int a = params_.routers_per_group;
+  const int p = params_.endpoints_per_router;
+  const int h = params_.global_per_router;
+  const int g = params_.groups;
+  if (g < 2 || g > a * h + 1)
+    throw std::invalid_argument("Dragonfly: groups out of range");
+
+  for (int i = 0; i < g * a; ++i) routers_.push_back(add_switch());
+  radj_.resize(routers_.size());
+
+  // Endpoints.
+  for (int r = 0; r < g * a; ++r)
+    for (int t = 0; t < p; ++t) {
+      int rank = add_endpoint();
+      graph_.add_duplex(endpoint_node(rank), routers_[r], kLinkBandwidthBps,
+                        kCableLatencyPs, CableKind::kDac);
+    }
+
+  auto connect_routers = [&](int r1, int r2, CableKind cable) {
+    LinkId l = graph_.add_duplex(routers_[r1], routers_[r2], kLinkBandwidthBps,
+                                 kCableLatencyPs, cable);
+    radj_[r1].push_back({r2, l});
+    radj_[r2].push_back({r1, l + 1});  // reverse direction of the duplex
+  };
+
+  // Local complete graph inside each group (DAC).
+  for (int grp = 0; grp < g; ++grp)
+    for (int i = 0; i < a; ++i)
+      for (int j = i + 1; j < a; ++j)
+        connect_routers(grp * a + i, grp * a + j, CableKind::kDac);
+
+  // Global links: every group pair gets floor(a*h/(g-1)) AoC cables.
+  // A group's global port q targets group (G + 1 + q mod (g-1)) mod g, so
+  // consecutive ports stripe across peer groups and every router reaches
+  // min(h, g-1) distinct groups — the canonical Dragonfly arrangement.
+  const int per_pair = (a * h) / (g - 1);
+  for (int g1 = 0; g1 < g; ++g1)
+    for (int g2 = g1 + 1; g2 < g; ++g2)
+      for (int k = 0; k < per_pair; ++k) {
+        int q1 = (g2 - g1 - 1 + g) % g + k * (g - 1);
+        int q2 = (g1 - g2 - 1 + 2 * g) % g + k * (g - 1);
+        connect_routers(g1 * a + q1 / h, g2 * a + q2 / h, CableKind::kAoc);
+      }
+
+  // All-pairs router distances by BFS (router graph is small: g*a nodes).
+  const int nr = g * a;
+  rdist_.assign(nr, std::vector<std::uint8_t>(nr, 0xff));
+  for (int s = 0; s < nr; ++s) {
+    auto& dist = rdist_[s];
+    std::deque<int> queue{s};
+    dist[s] = 0;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      for (auto [v, l] : radj_[u])
+        if (dist[v] == 0xff) {
+          dist[v] = static_cast<std::uint8_t>(dist[u] + 1);
+          queue.push_back(v);
+        }
+    }
+    for (int t = 0; t < nr; ++t)
+      router_diameter_ = std::max(router_diameter_, static_cast<int>(dist[t]));
+  }
+  finalize();
+}
+
+void Dragonfly::sample_path(int src, int dst, Rng& rng,
+                            std::vector<LinkId>& out) const {
+  out.clear();
+  if (src == dst) return;
+  int r1 = router_of(src), r2 = router_of(dst);
+  out.push_back(graph_.find_link(endpoint_node(src), routers_[r1]));
+  walk_minimal(r1, r2, rng, out);
+  out.push_back(graph_.find_link(routers_[r2], endpoint_node(dst)));
+}
+
+void Dragonfly::walk_minimal(int from, int to, Rng& rng,
+                             std::vector<LinkId>& out) const {
+  // Random minimal walk on the router graph using the distance matrix.
+  int cur = from;
+  std::vector<std::pair<int, LinkId>> cand;
+  while (cur != to) {
+    cand.clear();
+    int d = router_dist(cur, to);
+    for (auto [v, l] : radj_[cur])
+      if (router_dist(v, to) == d - 1) cand.push_back({v, l});
+    assert(!cand.empty());
+    auto [v, l] = cand[rng.uniform(cand.size())];
+    out.push_back(l);
+    cur = v;
+  }
+}
+
+void Dragonfly::sample_path_stratified(int src, int dst, int k,
+                                       int num_strata, Rng& rng,
+                                       std::vector<LinkId>& out) const {
+  (void)num_strata;
+  const int g = params_.groups;
+  int r1 = router_of(src), r2 = router_of(dst);
+  int g1 = group_of_router(r1), g2 = group_of_router(r2);
+  if ((k & 1) == 0 || g1 == g2 || g < 3) {
+    sample_path(src, dst, rng, out);
+    return;
+  }
+  // Valiant: detour through a random router of a third group.
+  int gi = static_cast<int>(rng.uniform(g));
+  while (gi == g1 || gi == g2) gi = static_cast<int>(rng.uniform(g));
+  int ri = gi * params_.routers_per_group +
+           static_cast<int>(rng.uniform(params_.routers_per_group));
+  out.clear();
+  out.push_back(graph_.find_link(endpoint_node(src), routers_[r1]));
+  walk_minimal(r1, ri, rng, out);
+  walk_minimal(ri, r2, rng, out);
+  out.push_back(graph_.find_link(routers_[r2], endpoint_node(dst)));
+}
+
+}  // namespace hxmesh::topo

@@ -1,0 +1,152 @@
+#include "topo/fattree.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+
+namespace hxmesh::topo {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+FatTree::FatTree(FatTreeParams params) : params_(params) {
+  if (params_.num_endpoints <= 0 || params_.radix < 4)
+    throw std::invalid_argument("FatTree: bad parameters");
+  down_ = static_cast<int>(params_.radix / (1.0 + params_.taper));
+  up_ = params_.radix - down_;
+  if (params_.num_endpoints <= down_ * params_.radix) {
+    levels_ = 2;
+    build_two_level();
+  } else {
+    levels_ = 3;
+    build_three_level();
+  }
+  finalize();
+}
+
+void FatTree::build_two_level() {
+  const int n = params_.num_endpoints;
+  const int num_leaves = ceil_div(n, down_);
+  int num_spines = ceil_div(num_leaves * up_, params_.radix);
+  // Every pair of leaves must share a spine; our round-robin wiring
+  // guarantees that when each leaf reaches all spines.
+  assert(num_spines <= up_ && "two-level tree needs up_ports >= spines");
+  for (int i = 0; i < num_leaves; ++i) leaves_.push_back(add_switch());
+  for (int i = 0; i < num_spines; ++i) spines_.push_back(add_switch());
+  for (int r = 0; r < n; ++r) {
+    int rank = add_endpoint();
+    graph_.add_duplex(endpoint_node(rank), leaves_[r / down_],
+                      kLinkBandwidthBps, kCableLatencyPs, CableKind::kDac);
+  }
+  for (int i = 0; i < num_leaves; ++i)
+    for (int k = 0; k < up_; ++k)
+      graph_.add_duplex(leaves_[i], spines_[(i * up_ + k) % num_spines],
+                        kLinkBandwidthBps, kCableLatencyPs, CableKind::kAoc);
+}
+
+void FatTree::build_three_level() {
+  const int n = params_.num_endpoints;
+  leaves_per_pod_ = params_.radix / 2;
+  l2_per_pod_ = up_;  // one up-link from every leaf to every pod L2
+  const int pod_endpoints = down_ * leaves_per_pod_;
+  pods_ = ceil_div(n, pod_endpoints);
+  l3_group_size_ = ceil_div(pods_, 2);  // L2 has radix/2 up-links, 64 ports
+  const int l2_up = params_.radix / 2;
+  assert(l2_up >= l3_group_size_ && "three-level tree: too many pods");
+
+  const int num_leaves = pods_ * leaves_per_pod_;
+  for (int i = 0; i < num_leaves; ++i) leaves_.push_back(add_switch());
+  for (int i = 0; i < pods_ * l2_per_pod_; ++i) l2_.push_back(add_switch());
+  for (int i = 0; i < l2_per_pod_ * l3_group_size_; ++i)
+    spines_.push_back(add_switch());
+
+  for (int r = 0; r < n; ++r) {
+    int rank = add_endpoint();
+    graph_.add_duplex(endpoint_node(rank), leaves_[r / down_],
+                      kLinkBandwidthBps, kCableLatencyPs, CableKind::kDac);
+  }
+  // Leaf -> pod aggregation: leaf i in pod g connects once to every L2 j.
+  for (int g = 0; g < pods_; ++g)
+    for (int i = 0; i < leaves_per_pod_; ++i)
+      for (int j = 0; j < l2_per_pod_; ++j)
+        graph_.add_duplex(leaves_[g * leaves_per_pod_ + i],
+                          l2_[g * l2_per_pod_ + j], kLinkBandwidthBps,
+                          kCableLatencyPs, CableKind::kAoc);
+  // Aggregation -> core: L2 (g, j) spreads its radix/2 up-links over core
+  // group j (size l3_group_size_), giving parallel links when pods are few.
+  for (int g = 0; g < pods_; ++g)
+    for (int j = 0; j < l2_per_pod_; ++j)
+      for (int k = 0; k < l2_up; ++k)
+        graph_.add_duplex(l2_[g * l2_per_pod_ + j],
+                          spines_[j * l3_group_size_ + k % l3_group_size_],
+                          kLinkBandwidthBps, kCableLatencyPs, CableKind::kAoc);
+}
+
+int FatTree::num_switches() const {
+  return static_cast<int>(leaves_.size() + l2_.size() + spines_.size());
+}
+
+std::string FatTree::name() const {
+  if (params_.taper >= 1.0) return "nonblocking fat tree";
+  if (params_.taper >= 0.5) return "50% tapered fat tree";
+  return "75% tapered fat tree";
+}
+
+LinkId FatTree::random_link_between(NodeId a, NodeId b, Rng& rng) const {
+  auto ls = graph_.links_between(a, b);
+  assert(!ls.empty());
+  return ls[rng.uniform(ls.size())];
+}
+
+void FatTree::sample_path(int src, int dst, Rng& rng,
+                          std::vector<LinkId>& out) const {
+  // A uniformly random stratum of a large stratification is an unbiased
+  // uniform draw over the spine choices.
+  constexpr int kStrata = 1 << 20;
+  sample_path_stratified(src, dst, static_cast<int>(rng.uniform(kStrata)),
+                         kStrata, rng, out);
+}
+
+void FatTree::sample_path_stratified(int src, int dst, int k, int num_strata,
+                                     Rng& rng,
+                                     std::vector<LinkId>& out) const {
+  out.clear();
+  if (src == dst) return;
+  NodeId se = endpoint_node(src), de = endpoint_node(dst);
+  int sl = leaf_of(src), dl = leaf_of(dst);
+  out.push_back(graph_.find_link(se, leaves_[sl]));
+  if (sl == dl) {
+    out.push_back(graph_.find_link(leaves_[dl], de));
+    return;
+  }
+  if (levels_ == 2) {
+    // Strided spine choice: subflow k of a flow from `src` lands on a
+    // distinct spine, and across sources the strides cover all spines
+    // uniformly (approximating packet spraying).
+    const int s = num_spines();
+    int spine_idx = (src + k * std::max(1, s / num_strata)) % s;
+    NodeId spine = spines_[spine_idx];
+    out.push_back(random_link_between(leaves_[sl], spine, rng));
+    out.push_back(random_link_between(spine, leaves_[dl], rng));
+  } else {
+    int sg = pod_of_leaf(sl), dg = pod_of_leaf(dl);
+    int j = (src + k * std::max(1, l2_per_pod_ / num_strata)) % l2_per_pod_;
+    NodeId sl2 = l2_[sg * l2_per_pod_ + j];
+    out.push_back(random_link_between(leaves_[sl], sl2, rng));
+    if (sg != dg) {
+      int m = (src + k) % l3_group_size_;
+      NodeId core = spines_[j * l3_group_size_ + m];
+      NodeId dl2 = l2_[dg * l2_per_pod_ + j];
+      out.push_back(random_link_between(sl2, core, rng));
+      out.push_back(random_link_between(core, dl2, rng));
+      sl2 = dl2;
+    }
+    out.push_back(random_link_between(sl2, leaves_[dl], rng));
+  }
+  out.push_back(graph_.find_link(leaves_[dl], de));
+}
+
+}  // namespace hxmesh::topo

@@ -1,0 +1,77 @@
+#include "topo/graph.hpp"
+
+#include <deque>
+
+namespace hxmesh::topo {
+
+NodeId Graph::add_node(NodeKind kind) {
+  kinds_.push_back(kind);
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(kinds_.size() - 1);
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst, double bandwidth_bps,
+                       picoseconds latency_ps, CableKind cable) {
+  links_.push_back(Link{src, dst, bandwidth_bps, latency_ps, cable});
+  auto id = static_cast<LinkId>(links_.size() - 1);
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+LinkId Graph::add_duplex(NodeId a, NodeId b, double bandwidth_bps,
+                         picoseconds latency_ps, CableKind cable) {
+  LinkId first = add_link(a, b, bandwidth_bps, latency_ps, cable);
+  add_link(b, a, bandwidth_bps, latency_ps, cable);
+  return first;
+}
+
+std::vector<LinkId> Graph::links_between(NodeId a, NodeId b) const {
+  std::vector<LinkId> result;
+  for (LinkId l : out_[a])
+    if (links_[l].dst == b) result.push_back(l);
+  return result;
+}
+
+LinkId Graph::find_link(NodeId a, NodeId b) const {
+  for (LinkId l : out_[a])
+    if (links_[l].dst == b) return l;
+  return kInvalidLink;
+}
+
+namespace {
+
+std::vector<std::int32_t> bfs(
+    NodeId start, std::size_t n,
+    const std::vector<std::vector<LinkId>>& adjacency,
+    const std::vector<Link>& links, bool follow_src) {
+  std::vector<std::int32_t> dist(n, -1);
+  std::deque<NodeId> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (LinkId l : adjacency[u]) {
+      NodeId v = follow_src ? links[l].src : links[l].dst;
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> Graph::dist_to(NodeId dst) const {
+  return bfs(dst, num_nodes(), in_, links_, /*follow_src=*/true);
+}
+
+std::vector<std::int32_t> Graph::dist_from(NodeId src) const {
+  return bfs(src, num_nodes(), out_, links_, /*follow_src=*/false);
+}
+
+}  // namespace hxmesh::topo

@@ -1,0 +1,321 @@
+#include "topo/hammingmesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hxmesh::topo {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+HammingMesh::HammingMesh(HxMeshParams params) : params_(params) {
+  const int a = params_.a, b = params_.b, x = params_.x, y = params_.y;
+  if (a < 1 || b < 1 || x < 1 || y < 1 || params_.radix < 4)
+    throw std::invalid_argument("HammingMesh: bad parameters");
+
+  for (int i = 0; i < accel_x() * accel_y(); ++i) add_endpoint();
+
+  // On-board 2D mesh over PCB traces.
+  for (int by = 0; by < y; ++by)
+    for (int bx = 0; bx < x; ++bx) {
+      for (int j = 0; j < b; ++j)
+        for (int i = 0; i + 1 < a; ++i)
+          graph_.add_duplex(endpoint_node(rank_at(bx * a + i, by * b + j)),
+                            endpoint_node(rank_at(bx * a + i + 1, by * b + j)),
+                            kLinkBandwidthBps, kBoardLatencyPs, CableKind::kPcb);
+      for (int i = 0; i < a; ++i)
+        for (int j = 0; j + 1 < b; ++j)
+          graph_.add_duplex(endpoint_node(rank_at(bx * a + i, by * b + j)),
+                            endpoint_node(rank_at(bx * a + i, by * b + j + 1)),
+                            kLinkBandwidthBps, kBoardLatencyPs, CableKind::kPcb);
+    }
+
+  build_rails(0);
+  build_rails(1);
+  rail_levels_x_ = x_rails_.levels;
+  rail_levels_y_ = y_rails_.levels;
+  // Physical switch count per plane: single-switch rails are merged so one
+  // physical switch serves floor(radix / (2*boards)) neighboring lines of a
+  // board row/column (Appendix C); fat-tree rails are one tree per line.
+  auto physical = [&](const DimRails& dr, int boards, int per_board,
+                      int strips) {
+    if (dr.levels == 1) {
+      int lines_per_switch = std::max(1, std::min(params_.radix / (2 * boards),
+                                                  per_board));
+      return strips * ceil_div(per_board, lines_per_switch);
+    }
+    int total = 0;
+    for (const Rail& r : dr.rails)
+      total += static_cast<int>(r.leaves.size() + r.spines.size());
+    return total;
+  };
+  num_switches_ = physical(x_rails_, x, b, y) + physical(y_rails_, y, a, x);
+  finalize();
+}
+
+void HammingMesh::build_rails(int dim) {
+  // dim 0: lines are accelerator rows (gy), boards indexed by bx, 2*x ports.
+  // dim 1: lines are accelerator columns (gx), boards indexed by by.
+  const int radix = params_.radix;
+  const int boards = dim == 0 ? params_.x : params_.y;  // boards per line
+  const int num_lines = dim == 0 ? accel_y() : accel_x();
+  const int ports = 2 * boards;  // edge ports of one line
+  const CableKind port_cable = dim == 0 ? CableKind::kDac : CableKind::kAoc;
+  DimRails& dr = dim == 0 ? x_rails_ : y_rails_;
+  dr.rail_of_line.assign(num_lines, -1);
+
+  if (ports <= radix) {
+    // Single-switch rails, one logical switch per accelerator line. The
+    // physical machine may merge several lines of a board row into one
+    // 64-port switch (the paper's small Hx2Mesh does); the cost model
+    // accounts for that merging, but routing stays within a line, matching
+    // the paper's routing description and diameter formula (a packet never
+    // changes its row by crossing an x-rail).
+    dr.levels = 1;
+    dr.rails.resize(num_lines);
+    for (int line = 0; line < num_lines; ++line) {
+      Rail& r = dr.rails[line];
+      r.leaves.push_back(add_switch());
+      r.ports_per_leaf = ports;  // single leaf: every port maps to it
+      dr.rail_of_line[line] = line;
+    }
+  } else {
+    // Two-level fat-tree rail per line (large machines), optionally tapered.
+    dr.levels = 2;
+    const int down_per_leaf = radix / 2;
+    const int num_leaves = ceil_div(ports, down_per_leaf);
+    const int up_per_leaf =
+        std::max(1, static_cast<int>(down_per_leaf * params_.rail_taper));
+    const int num_spines = ceil_div(num_leaves * up_per_leaf, radix);
+    assert(num_spines <= up_per_leaf &&
+           "rail fat tree: leaves must reach every spine");
+    dr.rails.resize(num_lines);
+    for (int line = 0; line < num_lines; ++line) {
+      Rail& r = dr.rails[line];
+      r.ports_per_leaf = down_per_leaf;
+      for (int i = 0; i < num_leaves; ++i) r.leaves.push_back(add_switch());
+      for (int s = 0; s < num_spines; ++s) r.spines.push_back(add_switch());
+      for (int i = 0; i < num_leaves; ++i)
+        for (int k = 0; k < up_per_leaf; ++k)
+          graph_.add_duplex(r.leaves[i],
+                            r.spines[(i * up_per_leaf + k) % num_spines],
+                            kLinkBandwidthBps, kCableLatencyPs, CableKind::kAoc);
+      dr.rail_of_line[line] = line;
+    }
+  }
+
+  // Attach the board edge ports.
+  for (int line = 0; line < num_lines; ++line)
+    for (int board = 0; board < boards; ++board) {
+      NodeId leaf = leaf_for(dim, line, board);
+      NodeId lo, hi;  // W/E for dim 0, S/N for dim 1
+      if (dim == 0) {
+        lo = endpoint_node(rank_at(board * params_.a, line));
+        hi = endpoint_node(rank_at(board * params_.a + params_.a - 1, line));
+      } else {
+        lo = endpoint_node(rank_at(line, board * params_.b));
+        hi = endpoint_node(rank_at(line, board * params_.b + params_.b - 1));
+      }
+      graph_.add_duplex(lo, leaf, kLinkBandwidthBps, kCableLatencyPs,
+                        port_cable);
+      graph_.add_duplex(hi, leaf, kLinkBandwidthBps, kCableLatencyPs,
+                        port_cable);
+    }
+}
+
+int HammingMesh::rail_hops(int dim, int line, int b1, int b2) const {
+  return leaf_for(dim, line, b1) == leaf_for(dim, line, b2) ? 2 : 4;
+}
+
+namespace {
+// Minimal per-dimension cost between intra-board coordinates i (source) and
+// j (destination) on boards bi/bj of width n; `rail` is the cable cost of
+// one rail crossing.
+int dim_cost(int i, int j, int bi, int bj, int n, int rail) {
+  if (bi == bj) {
+    int direct = std::abs(i - j);
+    int wrap1 = i + rail + (n - 1 - j);
+    int wrap2 = (n - 1 - i) + rail + j;
+    return std::min({direct, wrap1, wrap2});
+  }
+  return std::min(i, n - 1 - i) + rail + std::min(j, n - 1 - j);
+}
+}  // namespace
+
+int HammingMesh::dist(int src_rank, int dst_rank) const {
+  const int a = params_.a, b = params_.b;
+  int is = gx_of(src_rank) % a, id = gx_of(dst_rank) % a;
+  int js = gy_of(src_rank) % b, jd = gy_of(dst_rank) % b;
+  int bxs = board_x_of(src_rank), bxd = board_x_of(dst_rank);
+  int bys = board_y_of(src_rank), byd = board_y_of(dst_rank);
+  int rail_x = rail_hops(0, gy_of(src_rank), bxs, bxd);
+  int rail_y = rail_hops(1, gx_of(dst_rank), bys, byd);
+  return dim_cost(is, id, bxs, bxd, a, rail_x) +
+         dim_cost(js, jd, bys, byd, b, rail_y);
+}
+
+int HammingMesh::diameter_formula() const {
+  const int a = params_.a, b = params_.b;
+  auto worst = [&](int n, int nboards, int levels, int leaves) {
+    int rail_far = (levels == 2 && leaves > 1) ? 4 : 2;
+    int w = 0;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        // Same-board worst case always applies; different boards only if
+        // the dimension has more than one board.
+        w = std::max(w, dim_cost(i, j, 0, 0, n, 2));
+        if (nboards > 1) w = std::max(w, dim_cost(i, j, 0, 1, n, rail_far));
+      }
+    return w;
+  };
+  int leaves_x = static_cast<int>(x_rails_.rails[0].leaves.size());
+  int leaves_y = static_cast<int>(y_rails_.rails[0].leaves.size());
+  return worst(a, params_.x, x_rails_.levels, leaves_x) +
+         worst(b, params_.y, y_rails_.levels, leaves_y);
+}
+
+std::string HammingMesh::name() const {
+  const auto& p = params_;
+  if (p.a == 1 && p.b == 1) return "2D HyperX";
+  if (p.a == p.b)
+    return std::to_string(p.x) + "x" + std::to_string(p.y) + " Hx" +
+           std::to_string(p.a) + "Mesh";
+  return "H" + std::to_string(p.a) + "x" + std::to_string(p.b) + "Mesh " +
+         std::to_string(p.x) + "x" + std::to_string(p.y);
+}
+
+LinkId HammingMesh::random_link_between(NodeId u, NodeId v, Rng& rng) const {
+  auto ls = graph_.links_between(u, v);
+  assert(!ls.empty());
+  return ls[rng.uniform(ls.size())];
+}
+
+void HammingMesh::emit_rail(int dim, int line, int from_board, int to_board,
+                            NodeId from_acc, NodeId to_acc, int stratum,
+                            Rng& rng, std::vector<LinkId>& out) const {
+  (void)rng;
+  // Parallel cables (a board edge can attach several links to one switch)
+  // are chosen by stratum so a flow's subflows spread over them evenly,
+  // like per-packet adaptive spraying would.
+  auto pick = [&](NodeId u, NodeId v) {
+    auto ls = graph_.links_between(u, v);
+    assert(!ls.empty());
+    // Weyl-hash the stratum: a plain modulo would tie the parallel-cable
+    // parity to the spine parity (both derive from stratum), idling half
+    // of every leaf-spine bundle.
+    auto h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(stratum)) *
+             0x9e3779b97f4a7c15ull;
+    return ls[(h >> 33) % ls.size()];
+  };
+  NodeId leaf1 = leaf_for(dim, line, from_board);
+  NodeId leaf2 = leaf_for(dim, line, to_board);
+  out.push_back(pick(from_acc, leaf1));
+  if (leaf1 != leaf2) {
+    const Rail& r = rail_for(dim, line);
+    NodeId spine = r.spines[static_cast<std::size_t>(stratum) %
+                            r.spines.size()];
+    out.push_back(pick(leaf1, spine));
+    out.push_back(pick(spine, leaf2));
+  }
+  out.push_back(pick(leaf2, to_acc));
+}
+
+void HammingMesh::sample_path(int src, int dst, Rng& rng,
+                              std::vector<LinkId>& out) const {
+  // Clear the Valiant bit (bit 1): sample_path promises minimal paths.
+  route(src, dst, static_cast<int>(rng.uniform(1 << 20)) & ~2, rng, out);
+}
+
+void HammingMesh::sample_path_stratified(int src, int dst, int k,
+                                         int num_strata, Rng& rng,
+                                         std::vector<LinkId>& out) const {
+  (void)num_strata;
+  // A per-flow hash decorrelates the strata of different flows: without it
+  // every flow's k-th subflow would pick the k-th parallel rail cable and
+  // k-th spine, overloading a fixed subset of tree links. Adding k keeps
+  // the direction bit alternating within a flow.
+  std::uint32_t h = static_cast<std::uint32_t>(src) * 2654435761u ^
+                    static_cast<std::uint32_t>(dst) * 0x9e3779b9u;
+  route(src, dst, static_cast<int>((h >> 8) & 0xffff) + k, rng, out);
+}
+
+void HammingMesh::route(int src, int dst, int stratum, Rng& rng,
+                        std::vector<LinkId>& out) const {
+  out.clear();
+  if (src == dst) return;
+  int gx = gx_of(src), gy = gy_of(src);
+  const int dgx = gx_of(dst), dgy = gy_of(dst);
+
+  // Emits on-board mesh steps moving coordinate `dim` from cur to target.
+  auto emit_mesh = [&](int dim, int target) {
+    int& c = dim == 0 ? gx : gy;
+    while (c != target) {
+      int step = target > c ? 1 : -1;
+      NodeId u = endpoint_node(rank_at(gx, gy));
+      int nx = dim == 0 ? gx + step : gx;
+      int ny = dim == 0 ? gy : gy + step;
+      out.push_back(random_link_between(u, endpoint_node(rank_at(nx, ny)), rng));
+      c += step;
+    }
+  };
+
+  // Moves one dimension to `target` (mesh steps and rail crossing).
+  auto apply_dim = [&](int dim, int target) {
+    const int n = dim == 0 ? params_.a : params_.b;
+    int& c = dim == 0 ? gx : gy;
+    if (c == target) return;
+    const int line = dim == 0 ? gy : gx;
+    int bi = c / n, bj = target / n;
+    int i = c % n, j = target % n;
+    int rail = rail_hops(dim, line, bi, bj);
+    auto edge_acc = [&](int board, int side) {
+      int coord = board * n + (side == 0 ? 0 : n - 1);
+      return dim == 0 ? endpoint_node(rank_at(coord, gy))
+                      : endpoint_node(rank_at(gx, coord));
+    };
+    if (bi == bj) {
+      int direct = std::abs(i - j);
+      int wrap1 = i + rail + (n - 1 - j);
+      int wrap2 = (n - 1 - i) + rail + j;
+      int best = std::min({direct, wrap1, wrap2});
+      std::vector<int> options;
+      if (direct == best) options.push_back(0);
+      if (wrap1 == best) options.push_back(1);
+      if (wrap2 == best) options.push_back(2);
+      int pick = options[rng.uniform(options.size())];
+      if (pick == 0) {
+        emit_mesh(dim, target);
+      } else {
+        int exit_side = pick == 1 ? 0 : 1;
+        emit_mesh(dim, bi * n + (exit_side == 0 ? 0 : n - 1));
+        emit_rail(dim, line, bi, bj, edge_acc(bi, exit_side),
+                  edge_acc(bj, 1 - exit_side), stratum, rng, out);
+        c = bj * n + (exit_side == 0 ? n - 1 : 0);
+        emit_mesh(dim, target);
+      }
+      return;
+    }
+    // Different boards: exit/enter through the nearer edge (ties random).
+    auto pick_side = [&](int coord) {
+      int lo = coord, hi = n - 1 - coord;
+      if (lo < hi) return 0;
+      if (hi < lo) return 1;
+      return static_cast<int>(rng.uniform(2));
+    };
+    int exit_side = pick_side(i), enter_side = pick_side(j);
+    emit_mesh(dim, bi * n + (exit_side == 0 ? 0 : n - 1));
+    emit_rail(dim, line, bi, bj, edge_acc(bi, exit_side),
+              edge_acc(bj, enter_side), stratum, rng, out);
+    c = bj * n + (enter_side == 0 ? 0 : n - 1);
+    emit_mesh(dim, target);
+  };
+
+  bool x_first = (stratum % 2) != 0;
+  apply_dim(x_first ? 0 : 1, x_first ? dgx : dgy);
+  apply_dim(x_first ? 1 : 0, x_first ? dgy : dgx);
+}
+
+}  // namespace hxmesh::topo

@@ -1,0 +1,80 @@
+#include "topo/hyperx.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hxmesh::topo {
+
+HyperX::HyperX(HyperXParams params) : params_(params) {
+  const int x = params_.x, y = params_.y;
+  if (x < 2 || y < 2 || params_.endpoints_per_switch < 1)
+    throw std::invalid_argument("HyperX: bad parameters");
+  for (int i = 0; i < x * y; ++i) switches_.push_back(add_switch());
+  for (int s = 0; s < x * y; ++s)
+    for (int t = 0; t < params_.endpoints_per_switch; ++t) {
+      int rank = add_endpoint();
+      graph_.add_duplex(endpoint_node(rank), switches_[s], kLinkBandwidthBps,
+                        kCableLatencyPs, CableKind::kDac);
+    }
+  // Rows fully connected (DAC in-row), columns fully connected (AoC).
+  for (int r = 0; r < y; ++r)
+    for (int c1 = 0; c1 < x; ++c1)
+      for (int c2 = c1 + 1; c2 < x; ++c2)
+        graph_.add_duplex(switches_[switch_at(c1, r)],
+                          switches_[switch_at(c2, r)], kLinkBandwidthBps,
+                          kCableLatencyPs, CableKind::kDac);
+  for (int c = 0; c < x; ++c)
+    for (int r1 = 0; r1 < y; ++r1)
+      for (int r2 = r1 + 1; r2 < y; ++r2)
+        graph_.add_duplex(switches_[switch_at(c, r1)],
+                          switches_[switch_at(c, r2)], kLinkBandwidthBps,
+                          kCableLatencyPs, CableKind::kAoc);
+  finalize();
+}
+
+void HyperX::sample_path(int src, int dst, Rng& rng,
+                         std::vector<LinkId>& out) const {
+  route(src, dst, static_cast<int>(rng.uniform(1 << 20)), rng, out);
+}
+
+void HyperX::sample_path_stratified(int src, int dst, int k, int num_strata,
+                                    Rng& rng,
+                                    std::vector<LinkId>& out) const {
+  (void)num_strata;
+  std::uint32_t h = static_cast<std::uint32_t>(src) * 2654435761u ^
+                    static_cast<std::uint32_t>(dst) * 0x9e3779b9u;
+  route(src, dst, static_cast<int>((h >> 8) & 0xffff) + k, rng, out);
+}
+
+void HyperX::route(int src, int dst, int stratum, Rng& rng,
+                   std::vector<LinkId>& out) const {
+  (void)rng;
+  out.clear();
+  if (src == dst) return;
+  int s1 = src / params_.endpoints_per_switch;
+  int s2 = dst / params_.endpoints_per_switch;
+  NodeId cur = switches_[s1];
+  out.push_back(graph_.find_link(endpoint_node(src), cur));
+  if (s1 != s2) {
+    int c1 = s1 % params_.x, r1 = s1 / params_.x;
+    int c2 = s2 % params_.x, r2 = s2 / params_.x;
+    bool x_first = (stratum & 1) != 0;
+    auto hop = [&](int to_switch) {
+      NodeId next = switches_[to_switch];
+      LinkId l = graph_.find_link(cur, next);
+      assert(l != kInvalidLink);
+      out.push_back(l);
+      cur = next;
+    };
+    if (x_first) {
+      if (c1 != c2) hop(switch_at(c2, r1));
+      if (r1 != r2) hop(switch_at(c2, r2));
+    } else {
+      if (r1 != r2) hop(switch_at(c1, r2));
+      if (c1 != c2) hop(switch_at(c2, r2));
+    }
+  }
+  out.push_back(graph_.find_link(cur, endpoint_node(dst)));
+}
+
+}  // namespace hxmesh::topo

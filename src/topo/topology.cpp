@@ -1,0 +1,82 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hxmesh::topo {
+
+namespace {
+constexpr std::size_t kDistCacheCap = 2048;
+}
+
+int Topology::add_endpoint() {
+  NodeId n = graph_.add_node(NodeKind::kEndpoint);
+  endpoints_.push_back(n);
+  return static_cast<int>(endpoints_.size() - 1);
+}
+
+NodeId Topology::add_switch() { return graph_.add_node(NodeKind::kSwitch); }
+
+void Topology::finalize() {
+  rank_of_node_.assign(graph_.num_nodes(), -1);
+  for (std::size_t r = 0; r < endpoints_.size(); ++r)
+    rank_of_node_[endpoints_[r]] = static_cast<std::int32_t>(r);
+}
+
+const std::vector<std::int32_t>& Topology::dist_field(NodeId dst_node) const {
+  auto it = dist_cache_.find(dst_node);
+  if (it != dist_cache_.end()) return it->second;
+  if (dist_cache_.size() >= kDistCacheCap) {
+    // FIFO eviction keeps memory bounded on large machines.
+    NodeId victim = dist_cache_order_.front();
+    dist_cache_order_.erase(dist_cache_order_.begin());
+    dist_cache_.erase(victim);
+  }
+  dist_cache_order_.push_back(dst_node);
+  return dist_cache_.emplace(dst_node, graph_.dist_to(dst_node)).first->second;
+}
+
+void Topology::sample_path(int src, int dst, Rng& rng,
+                           std::vector<LinkId>& out) const {
+  out.clear();
+  NodeId cur = endpoint_node(src);
+  NodeId goal = endpoint_node(dst);
+  if (cur == goal) return;
+  const auto& dist = dist_field(goal);
+  assert(dist[cur] >= 0 && "destination unreachable");
+  // Random minimal walk: at each node pick uniformly among links that
+  // strictly decrease the BFS distance.
+  std::vector<LinkId> cand;
+  while (cur != goal) {
+    cand.clear();
+    for (LinkId l : graph_.out_links(cur))
+      if (dist[graph_.link(l).dst] == dist[cur] - 1) cand.push_back(l);
+    assert(!cand.empty());
+    LinkId pick = cand[rng.uniform(cand.size())];
+    out.push_back(pick);
+    cur = graph_.link(pick).dst;
+  }
+}
+
+int Topology::diameter(int exact_limit) const {
+  int n = num_endpoints();
+  std::vector<int> sources;
+  if (n <= exact_limit) {
+    sources.resize(n);
+    for (int i = 0; i < n; ++i) sources[i] = i;
+  } else {
+    // Deterministic stratified sample; topologies here are symmetric enough
+    // that any source realizes the eccentricity.
+    int stride = std::max(1, n / 128);
+    for (int i = 0; i < n; i += stride) sources.push_back(i);
+  }
+  int best = 0;
+  for (int s : sources) {
+    auto dist = graph_.dist_from(endpoint_node(s));
+    for (int t = 0; t < n; ++t)
+      best = std::max(best, static_cast<int>(dist[endpoint_node(t)]));
+  }
+  return best;
+}
+
+}  // namespace hxmesh::topo

@@ -1,0 +1,109 @@
+// Topology: base class of all network families in the library.
+//
+// One Topology instance models ONE network plane, exactly as the paper's
+// simulations do. An accelerator ("endpoint") exposes ports_per_endpoint()
+// links into this plane: 4 for HammingMesh/torus (N/S/E/W), 1 for fat tree
+// and Dragonfly. planes() reports how many identical planes the full
+// machine has (HammingMesh/torus/HyperX: 4, fat tree/Dragonfly: 16 — each
+// accelerator package has 16 off-chip 400 Gb/s ports); the cost model uses
+// it, while bandwidth results are reported as plane-independent fractions
+// of injection bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "topo/graph.hpp"
+
+namespace hxmesh::topo {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  const Graph& graph() const { return graph_; }
+
+  /// Number of accelerators in the machine.
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+
+  /// Graph node of accelerator `rank`.
+  NodeId endpoint_node(int rank) const { return endpoints_[rank]; }
+
+  /// Rank of an endpoint node; -1 for switches.
+  int rank_of(NodeId n) const { return rank_of_node_[n]; }
+
+  /// Human-readable name, e.g. "16x16 Hx2Mesh".
+  virtual std::string name() const = 0;
+
+  /// Planes in the full machine (this object models one of them).
+  virtual int planes() const = 0;
+
+  /// Ports each accelerator has into this plane.
+  virtual int ports_per_endpoint() const = 0;
+
+  /// Per-accelerator injection bandwidth into this plane [bytes/s].
+  double injection_bandwidth() const {
+    return ports_per_endpoint() * kLinkBandwidthBps;
+  }
+
+  /// Samples a uniformly random minimal path (link id sequence) from the
+  /// endpoint `src` to the endpoint `dst`. The default walks the BFS
+  /// distance field (exact minimal, cached per destination); topologies
+  /// override it with closed-form constructions for speed at scale.
+  virtual void sample_path(int src, int dst, Rng& rng,
+                           std::vector<LinkId>& out) const;
+
+  /// Samples path `k` of `num_strata` for a flow. Topologies override this
+  /// to spread a flow's subflows evenly over the minimal-path diversity
+  /// (e.g. strided spine choice in fat trees), which is how the flow-level
+  /// model approximates per-packet adaptive routing / packet spraying.
+  /// Defaults to an independent sample_path() draw.
+  virtual void sample_path_stratified(int src, int dst, int k, int num_strata,
+                                      Rng& rng,
+                                      std::vector<LinkId>& out) const {
+    (void)k;
+    (void)num_strata;
+    sample_path(src, dst, rng, out);
+  }
+
+  /// Network diameter in cables between accelerators, by BFS. For machines
+  /// with more than `exact_limit` endpoints a deterministic sample of
+  /// source endpoints is used (all families here are near vertex-transitive,
+  /// so sampling finds the true eccentricity in practice).
+  int diameter(int exact_limit = 2048) const;
+
+  /// Closed-form diameter per the formulas in Section III-B of the paper.
+  virtual int diameter_formula() const { return diameter(); }
+
+  /// Minimal hop distance in cables between two accelerators. Default uses
+  /// the cached BFS field; topologies with closed forms override it.
+  virtual int hop_distance(int src, int dst) const {
+    return dist_field(endpoint_node(dst))[endpoint_node(src)];
+  }
+
+  /// Hop-distance field to `dst_node` (cached reverse BFS; bounded cache).
+  /// Used by the routing oracle of the packet-level simulator.
+  const std::vector<std::int32_t>& dist_field(NodeId dst_node) const;
+
+ protected:
+  /// Registers a new endpoint node; returns its rank.
+  int add_endpoint();
+  /// Registers a new switch node.
+  NodeId add_switch();
+  /// Must be called once after all nodes exist (builds rank lookup).
+  void finalize();
+
+  Graph graph_;
+
+ private:
+  std::vector<NodeId> endpoints_;
+  std::vector<std::int32_t> rank_of_node_;
+  mutable std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+  mutable std::vector<NodeId> dist_cache_order_;
+};
+
+}  // namespace hxmesh::topo

@@ -1,0 +1,145 @@
+// Core utilities: units, RNG determinism/uniformity, statistics, tables,
+// and the HyperX topology class added for the Table II reproduction.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "topo/hyperx.hpp"
+
+namespace hxmesh {
+namespace {
+
+// ------------------------------------------------------------- units -----
+TEST(Units, Conversions) {
+  EXPECT_EQ(s_to_ps(1.0), kPsPerSec);
+  EXPECT_DOUBLE_EQ(ps_to_s(kPsPerMs), 1e-3);
+  EXPECT_EQ(serialization_ps(8192, 50e9), static_cast<picoseconds>(163840));
+  EXPECT_EQ(4 * KiB, 4096u);
+  EXPECT_EQ(2 * MB, 2000000u);
+}
+
+// --------------------------------------------------------------- rng -----
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------- stats -----
+TEST(Stats, SummaryOfKnownSample) {
+  Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 100), 10.0);
+}
+
+TEST(Stats, WeightedCdfAccumulates) {
+  auto cdf = weighted_cdf({1, 2, 4}, {1, 1, 2});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"a", "long header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("long header"), std::string::npos);
+  EXPECT_NE(s.find("yy"), std::string::npos);
+}
+
+// ------------------------------------------------------------ HyperX -----
+TEST(HyperXTopo, StructureAndDiameter) {
+  topo::HyperX hx({.x = 8, .y = 8});
+  EXPECT_EQ(hx.num_endpoints(), 64);
+  // True switch-based HyperX: endpoint, <=2 switch hops, endpoint.
+  EXPECT_EQ(hx.diameter(), 4);
+  // Table II counts the Hx1Mesh-equivalent diameter.
+  EXPECT_EQ(hx.diameter_formula(), 4);
+  topo::HyperX big({.x = 128, .y = 128});
+  EXPECT_EQ(big.diameter_formula(), 8);  // rail trees at x=128 (Table II)
+}
+
+TEST(HyperXTopo, HopDistanceMatchesBfs) {
+  topo::HyperX hx({.x = 6, .y = 5});
+  for (int dst = 0; dst < hx.num_endpoints(); dst += 3) {
+    auto dist = hx.graph().dist_to(hx.endpoint_node(dst));
+    for (int src = 0; src < hx.num_endpoints(); ++src)
+      ASSERT_EQ(hx.hop_distance(src, dst), dist[hx.endpoint_node(src)]);
+  }
+}
+
+TEST(HyperXTopo, SampledPathsAreMinimal) {
+  topo::HyperX hx({.x = 6, .y = 6});
+  Rng rng(5);
+  std::vector<topo::LinkId> path;
+  for (int trial = 0; trial < 60; ++trial) {
+    int src = static_cast<int>(rng.uniform(hx.num_endpoints()));
+    int dst = static_cast<int>(rng.uniform(hx.num_endpoints()));
+    if (src == dst) continue;
+    hx.sample_path(src, dst, rng, path);
+    topo::NodeId cur = hx.endpoint_node(src);
+    for (auto l : path) {
+      ASSERT_EQ(hx.graph().link(l).src, cur);
+      cur = hx.graph().link(l).dst;
+    }
+    EXPECT_EQ(cur, hx.endpoint_node(dst));
+    EXPECT_EQ(static_cast<int>(path.size()), hx.hop_distance(src, dst));
+  }
+}
+
+TEST(HyperXTopo, RejectsBadParams) {
+  EXPECT_THROW(topo::HyperX({.x = 1, .y = 8}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hxmesh

@@ -1,0 +1,158 @@
+// Flow-level max-min solver: exactness on hand-checkable cases, fairness
+// properties, and Table II-shaped results on the paper's small networks.
+#include <gtest/gtest.h>
+
+#include "flow/flow_sim.hpp"
+#include "flow/patterns.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hammingmesh.hpp"
+#include "topo/torus.hpp"
+#include "topo/zoo.hpp"
+
+namespace hxmesh::flow {
+namespace {
+
+constexpr double kLink = kLinkBandwidthBps;
+
+TEST(FlowSolver, SingleFlowGetsFullLink) {
+  topo::FatTree ft({.num_endpoints = 64, .radix = 64, .taper = 1.0});
+  FlowSolver solver(ft);
+  std::vector<Flow> flows{{0, 1, 0.0}};
+  solver.solve(flows);
+  EXPECT_NEAR(flows[0].rate, kLink, kLink * 1e-6);
+}
+
+TEST(FlowSolver, TwoFlowsShareInjectionLink) {
+  topo::FatTree ft({.num_endpoints = 64, .radix = 64, .taper = 1.0});
+  FlowSolver solver(ft);
+  // Both flows leave endpoint 0: its single NIC link is the bottleneck.
+  std::vector<Flow> flows{{0, 1, 0.0}, {0, 2, 0.0}};
+  solver.solve(flows);
+  EXPECT_NEAR(flows[0].rate, kLink / 2, kLink * 1e-6);
+  EXPECT_NEAR(flows[1].rate, kLink / 2, kLink * 1e-6);
+}
+
+TEST(FlowSolver, IncastSharesEjectionLink) {
+  topo::FatTree ft({.num_endpoints = 64, .radix = 64, .taper = 1.0});
+  FlowSolver solver(ft);
+  std::vector<Flow> flows{{1, 0, 0.0}, {2, 0, 0.0}, {3, 0, 0.0}, {4, 0, 0.0}};
+  solver.solve(flows);
+  for (const Flow& f : flows) EXPECT_NEAR(f.rate, kLink / 4, kLink * 1e-6);
+}
+
+TEST(FlowSolver, SelfFlowIgnored) {
+  topo::FatTree ft({.num_endpoints = 64, .radix = 64, .taper = 1.0});
+  FlowSolver solver(ft);
+  std::vector<Flow> flows{{3, 3, 0.0}};
+  solver.solve(flows);
+  EXPECT_EQ(flows[0].rate, 0.0);
+}
+
+TEST(FlowSolver, MaxMinFairnessProperty) {
+  // On any solved instance: the sum of rates over every link must respect
+  // capacity (conservation), checked by re-tracing flows over fresh paths
+  // is not possible (paths are internal), so we check the aggregate:
+  // total egress of each endpoint <= its injection bandwidth.
+  auto hx = topo::make_paper_topology(topo::PaperTopology::kHx2Mesh,
+                                      topo::ClusterSize::kSmall);
+  FlowSolver solver(*hx);
+  auto flows = shift_pattern(hx->num_endpoints(), 7);
+  solver.solve(flows);
+  std::vector<double> egress(hx->num_endpoints(), 0.0);
+  for (const Flow& f : flows) egress[f.src] += f.rate;
+  for (double e : egress) EXPECT_LE(e, hx->injection_bandwidth() * 1.0001);
+}
+
+TEST(FlowSolver, NonblockingFatTreePermutationFullRate) {
+  topo::FatTree ft({.num_endpoints = 256, .radix = 64, .taper = 1.0});
+  FlowSolver solver(ft);
+  Rng rng(3);
+  auto flows = random_permutation(256, rng);
+  solver.solve(flows);
+  double mean = 0;
+  for (const Flow& f : flows) mean += f.rate;
+  mean /= flows.size();
+  // A nonblocking fat tree sustains (nearly) full injection on permutations.
+  EXPECT_GT(mean, 0.93 * kLink);
+}
+
+TEST(FlowSolver, TaperedFatTreeShiftMatchesTaperRatio) {
+  // Large shifts push every flow through the spine: expect ~ up/down rate.
+  topo::FatTree ft({.num_endpoints = 1024, .radix = 64, .taper = 0.25});
+  FlowSolver solver(ft);
+  auto flows = shift_pattern(1024, 512);
+  solver.solve(flows);
+  double mean = 0;
+  for (const Flow& f : flows) mean += f.rate;
+  mean /= flows.size();
+  double expected = kLink * ft.up_ports() / ft.down_ports();  // 13/51
+  EXPECT_NEAR(mean / kLink, expected / kLink, 0.05);
+}
+
+TEST(FlowSolver, TorusShiftIsBisectionLimited) {
+  topo::Torus t({.width = 16, .height = 16});
+  FlowSolver solver(t);
+  auto flows = shift_pattern(256, 128);  // worst-case half-way shift
+  solver.solve(flows);
+  double mean = 0;
+  for (const Flow& f : flows) mean += f.rate;
+  mean /= flows.size();
+  // Far below injection: the torus has tiny global bandwidth.
+  EXPECT_LT(mean, 0.25 * t.injection_bandwidth());
+}
+
+TEST(FlowSolver, RingOnTorusGetsFullLinkBothDirections) {
+  topo::Torus t({.width = 8, .height = 1, .board_a = 2, .board_b = 1});
+  FlowSolver solver(t);
+  std::vector<int> ring(8);
+  for (int i = 0; i < 8; ++i) ring[i] = i;
+  auto flows = ring_flows(ring, /*bidirectional=*/true);
+  solver.solve(flows);
+  for (const Flow& f : flows)
+    EXPECT_NEAR(f.rate, kLink, kLink * 0.01)
+        << f.src << "->" << f.dst;
+}
+
+TEST(FlowSolver, HxMeshNeighborRingFullRate) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  FlowSolver solver(hx);
+  // Ring along row 0: accelerators 0..7 in snake order are physical
+  // neighbors (on-board link or one rail crossing).
+  std::vector<int> ring;
+  for (int gx = 0; gx < hx.accel_x(); ++gx) ring.push_back(hx.rank_at(gx, 0));
+  auto flows = ring_flows(ring, true);
+  solver.solve(flows);
+  for (const Flow& f : flows) EXPECT_GT(f.rate, 0.9 * kLink);
+}
+
+// --------------------------------------------------------- patterns ------
+TEST(Patterns, ShiftPatternIsPermutation) {
+  auto flows = shift_pattern(10, 3);
+  std::vector<int> seen(10, 0);
+  for (const Flow& f : flows) seen[f.dst]++;
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Patterns, RandomPermutationHasNoFixedPoints) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto flows = random_permutation(64, rng);
+    std::vector<int> seen(64, 0);
+    for (const Flow& f : flows) {
+      EXPECT_NE(f.src, f.dst);
+      seen[f.dst]++;
+    }
+    for (int c : seen) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Patterns, RingFlowsBothDirections) {
+  std::vector<int> ring{0, 1, 2, 3};
+  auto uni = ring_flows(ring, false);
+  auto bi = ring_flows(ring, true);
+  EXPECT_EQ(uni.size(), 4u);
+  EXPECT_EQ(bi.size(), 8u);
+}
+
+}  // namespace
+}  // namespace hxmesh::flow

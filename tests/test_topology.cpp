@@ -1,0 +1,364 @@
+// Structural tests for the topology families: node/link counts, diameters
+// (closed form vs BFS), closed-form distances vs BFS, and minimal-path
+// sampling validity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/graph.hpp"
+#include "topo/hammingmesh.hpp"
+#include "topo/torus.hpp"
+
+namespace hxmesh::topo {
+namespace {
+
+// ---------------------------------------------------------------- Graph --
+TEST(Graph, DuplexCreatesBothDirections) {
+  Graph g;
+  NodeId a = g.add_node(NodeKind::kEndpoint);
+  NodeId b = g.add_node(NodeKind::kSwitch);
+  LinkId l = g.add_duplex(a, b, kLinkBandwidthBps, kCableLatencyPs,
+                          CableKind::kDac);
+  ASSERT_EQ(g.num_links(), 2u);
+  EXPECT_EQ(g.link(l).src, a);
+  EXPECT_EQ(g.link(l).dst, b);
+  EXPECT_EQ(g.link(l + 1).src, b);
+  EXPECT_EQ(g.link(l + 1).dst, a);
+}
+
+TEST(Graph, MultiEdgesAreKept) {
+  Graph g;
+  NodeId a = g.add_node(NodeKind::kEndpoint);
+  NodeId b = g.add_node(NodeKind::kSwitch);
+  g.add_duplex(a, b, kLinkBandwidthBps, kCableLatencyPs, CableKind::kDac);
+  g.add_duplex(a, b, kLinkBandwidthBps, kCableLatencyPs, CableKind::kDac);
+  EXPECT_EQ(g.links_between(a, b).size(), 2u);
+  EXPECT_EQ(g.links_between(b, a).size(), 2u);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  Graph g;
+  std::vector<NodeId> n;
+  for (int i = 0; i < 5; ++i) n.push_back(g.add_node(NodeKind::kSwitch));
+  for (int i = 0; i + 1 < 5; ++i)
+    g.add_duplex(n[i], n[i + 1], kLinkBandwidthBps, kCableLatencyPs,
+                 CableKind::kDac);
+  auto dist = g.dist_to(n[4]);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[n[i]], 4 - i);
+  auto from = g.dist_from(n[0]);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(from[n[i]], i);
+}
+
+TEST(Graph, UnreachableIsMinusOne) {
+  Graph g;
+  NodeId a = g.add_node(NodeKind::kSwitch);
+  NodeId b = g.add_node(NodeKind::kSwitch);
+  auto dist = g.dist_to(b);
+  EXPECT_EQ(dist[a], -1);
+  EXPECT_EQ(dist[b], 0);
+}
+
+// Validates that a sampled path is a connected minimal walk src -> dst.
+void expect_valid_minimal_path(const Topology& t, int src, int dst,
+                               Rng& rng) {
+  std::vector<LinkId> path;
+  t.sample_path(src, dst, rng, path);
+  NodeId cur = t.endpoint_node(src);
+  for (LinkId l : path) {
+    ASSERT_EQ(t.graph().link(l).src, cur) << "path not connected";
+    cur = t.graph().link(l).dst;
+  }
+  EXPECT_EQ(cur, t.endpoint_node(dst));
+  auto dist = t.graph().dist_to(t.endpoint_node(dst));
+  EXPECT_EQ(static_cast<int>(path.size()), dist[t.endpoint_node(src)])
+      << "path from " << src << " to " << dst << " is not minimal";
+}
+
+void check_sampled_paths(const Topology& t, int trials, unsigned seed = 7) {
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    int src = static_cast<int>(rng.uniform(t.num_endpoints()));
+    int dst = static_cast<int>(rng.uniform(t.num_endpoints()));
+    if (src == dst) continue;
+    expect_valid_minimal_path(t, src, dst, rng);
+  }
+}
+
+// -------------------------------------------------------------- FatTree --
+TEST(FatTree, SmallNonblockingStructure) {
+  FatTree ft({.num_endpoints = 1024, .radix = 64, .taper = 1.0});
+  EXPECT_EQ(ft.levels(), 2);
+  EXPECT_EQ(ft.down_ports(), 32);
+  EXPECT_EQ(ft.up_ports(), 32);
+  EXPECT_EQ(ft.num_leaves(), 32);
+  EXPECT_EQ(ft.num_spines(), 16);
+  EXPECT_EQ(ft.num_switches(), 48);  // 48 per plane, x16 planes = 768 total
+  EXPECT_EQ(ft.planes(), 16);
+  EXPECT_EQ(ft.name(), "nonblocking fat tree");
+}
+
+TEST(FatTree, TaperedPortSplitsMatchPaper) {
+  FatTree t50({.num_endpoints = 1024, .radix = 64, .taper = 0.5});
+  EXPECT_EQ(t50.down_ports(), 42);  // paper: 42 down / 22 up
+  EXPECT_EQ(t50.up_ports(), 22);
+  EXPECT_EQ(t50.num_leaves(), 25);
+  EXPECT_EQ(t50.num_spines(), 9);
+  EXPECT_EQ(t50.name(), "50% tapered fat tree");
+
+  FatTree t75({.num_endpoints = 1024, .radix = 64, .taper = 0.25});
+  EXPECT_EQ(t75.down_ports(), 51);  // paper: 51 down / 13 up
+  EXPECT_EQ(t75.up_ports(), 13);
+  EXPECT_EQ(t75.num_leaves(), 21);
+  EXPECT_EQ(t75.num_spines(), 5);
+  EXPECT_EQ(t75.name(), "75% tapered fat tree");
+}
+
+TEST(FatTree, TwoLevelDiameterIsFour) {
+  FatTree ft({.num_endpoints = 256, .radix = 64, .taper = 1.0});
+  EXPECT_EQ(ft.diameter_formula(), 4);
+  EXPECT_EQ(ft.diameter(), 4);
+}
+
+TEST(FatTree, ThreeLevelStructureLarge) {
+  FatTree ft({.num_endpoints = 16384, .radix = 64, .taper = 1.0});
+  EXPECT_EQ(ft.levels(), 3);
+  EXPECT_EQ(ft.num_pods(), 16);
+  EXPECT_EQ(ft.num_leaves(), 512);
+  EXPECT_EQ(ft.num_switches(), 512 + 512 + 256);  // paper's large FT counts
+  EXPECT_EQ(ft.diameter_formula(), 6);
+}
+
+TEST(FatTree, ThreeLevelDiameterBfs) {
+  // Small enough three-level instance for exact BFS.
+  FatTree ft({.num_endpoints = 2300, .radix = 64, .taper = 1.0});
+  EXPECT_EQ(ft.levels(), 3);
+  EXPECT_EQ(ft.diameter(), 6);
+}
+
+TEST(FatTree, SampledPathsAreMinimal) {
+  FatTree ft({.num_endpoints = 512, .radix = 64, .taper = 0.5});
+  check_sampled_paths(ft, 40);
+  FatTree big({.num_endpoints = 2100, .radix = 64, .taper = 1.0});
+  check_sampled_paths(big, 25);
+}
+
+TEST(FatTree, SameLeafPathLengthTwo) {
+  FatTree ft({.num_endpoints = 1024, .radix = 64, .taper = 1.0});
+  Rng rng(1);
+  std::vector<LinkId> path;
+  ft.sample_path(0, 1, rng, path);  // ranks 0 and 1 share leaf 0
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(FatTree, RejectsBadParams) {
+  EXPECT_THROW(FatTree({.num_endpoints = 0}), std::invalid_argument);
+  EXPECT_THROW(FatTree({.num_endpoints = 16, .radix = 2}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Dragonfly --
+TEST(Dragonfly, SmallConfigStructure) {
+  Dragonfly df({.routers_per_group = 16, .endpoints_per_router = 8,
+                .global_per_router = 8, .groups = 8});
+  EXPECT_EQ(df.num_endpoints(), 1024);
+  EXPECT_EQ(df.num_routers(), 128);
+  // h=8 >= groups-1=7: every router reaches every other group directly,
+  // so the worst router-to-router distance is 2 (global + local).
+  EXPECT_EQ(df.diameter_formula(), 4);
+  EXPECT_EQ(df.diameter(), 4);
+}
+
+TEST(Dragonfly, LargeConfigDiameter) {
+  Dragonfly df({.routers_per_group = 32, .endpoints_per_router = 17,
+                .global_per_router = 16, .groups = 30});
+  EXPECT_EQ(df.num_endpoints(), 16320);
+  // h=16 < groups-1=29: a local hop may be needed on both sides.
+  EXPECT_EQ(df.diameter_formula(), 5);
+}
+
+TEST(Dragonfly, SampledPathsAreMinimal) {
+  Dragonfly df({.routers_per_group = 8, .endpoints_per_router = 4,
+                .global_per_router = 4, .groups = 5});
+  check_sampled_paths(df, 60);
+}
+
+TEST(Dragonfly, GroupsFullyConnected) {
+  Dragonfly df({.routers_per_group = 16, .endpoints_per_router = 8,
+                .global_per_router = 8, .groups = 8});
+  // Any endpoint can reach any other (BFS connectivity).
+  auto dist = df.graph().dist_to(df.endpoint_node(0));
+  for (int r = 0; r < df.num_endpoints(); ++r)
+    EXPECT_GE(dist[df.endpoint_node(r)], 0);
+}
+
+TEST(Dragonfly, RejectsTooManyGroups) {
+  EXPECT_THROW(Dragonfly({.routers_per_group = 2, .endpoints_per_router = 1,
+                          .global_per_router = 1, .groups = 10}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Torus --
+TEST(Torus, StructureAndDiameter) {
+  Torus t({.width = 32, .height = 32, .board_a = 2, .board_b = 2});
+  EXPECT_EQ(t.num_endpoints(), 1024);
+  EXPECT_EQ(t.diameter_formula(), 32);  // Table II small torus diameter
+  EXPECT_EQ(t.ports_per_endpoint(), 4);
+}
+
+TEST(Torus, DiameterBfsMatchesFormula) {
+  for (auto [w, h] : {std::pair{8, 8}, {6, 10}, {5, 7}}) {
+    Torus t({.width = w, .height = h, .board_a = 2, .board_b = 2});
+    EXPECT_EQ(t.diameter(), w / 2 + h / 2) << w << "x" << h;
+  }
+}
+
+TEST(Torus, CableKinds) {
+  Torus t({.width = 4, .height = 4, .board_a = 2, .board_b = 2});
+  int pcb = 0, aoc = 0;
+  for (std::size_t l = 0; l < t.graph().num_links(); ++l) {
+    auto kind = t.graph().link(static_cast<LinkId>(l)).cable;
+    if (kind == CableKind::kPcb) ++pcb;
+    if (kind == CableKind::kAoc) ++aoc;
+  }
+  // 4 boards x 4 internal duplex links = 16 PCB duplex = 32 directed;
+  // inter-board: per row 2 + wrap... with width 4: 2 duplex per row pair,
+  // counted via directed links below.
+  EXPECT_EQ(pcb, 32);
+  EXPECT_EQ(aoc, static_cast<int>(t.graph().num_links()) - 32);
+}
+
+TEST(Torus, SampledPathsAreMinimal) {
+  Torus t({.width = 8, .height = 6, .board_a = 2, .board_b = 2});
+  check_sampled_paths(t, 60);
+}
+
+TEST(Torus, WidthTwoRingHasSingleDuplex) {
+  Torus t({.width = 2, .height = 4, .board_a = 2, .board_b = 2});
+  // No duplicated wrap link for size-2 dimensions.
+  EXPECT_EQ(t.graph().links_between(t.endpoint_node(0), t.endpoint_node(1))
+                .size(),
+            1u);
+}
+
+// ----------------------------------------------------------- HammingMesh --
+TEST(HammingMesh, SmallHx2Structure) {
+  HammingMesh hx({.a = 2, .b = 2, .x = 16, .y = 16});
+  EXPECT_EQ(hx.num_endpoints(), 1024);
+  // Paper (App. C): 16 + 16 = 32 switches per plane.
+  EXPECT_EQ(hx.num_switches(), 32);
+  EXPECT_EQ(hx.rail_levels_x(), 1);
+  EXPECT_EQ(hx.name(), "16x16 Hx2Mesh");
+  EXPECT_EQ(hx.diameter_formula(), 4);  // Table II
+  EXPECT_EQ(hx.planes(), 4);
+}
+
+TEST(HammingMesh, SmallHx4Structure) {
+  HammingMesh hx({.a = 4, .b = 4, .x = 8, .y = 8});
+  EXPECT_EQ(hx.num_endpoints(), 1024);
+  EXPECT_EQ(hx.num_switches(), 16);  // paper: 8 + 8
+  EXPECT_EQ(hx.diameter_formula(), 8);
+}
+
+TEST(HammingMesh, SmallHyperXStructure) {
+  HammingMesh hx({.a = 1, .b = 1, .x = 32, .y = 32});
+  EXPECT_EQ(hx.num_endpoints(), 1024);
+  EXPECT_EQ(hx.num_switches(), 64);  // paper: 32 + 32
+  EXPECT_EQ(hx.name(), "2D HyperX");
+  EXPECT_EQ(hx.diameter_formula(), 4);
+}
+
+TEST(HammingMesh, LargeHx4UsesSingleSwitchRails) {
+  HammingMesh hx({.a = 4, .b = 4, .x = 32, .y = 32});
+  EXPECT_EQ(hx.num_endpoints(), 16384);
+  EXPECT_EQ(hx.rail_levels_x(), 1);
+  // Paper (App. C): 2 * 32 * 4 = 256 switches per plane.
+  EXPECT_EQ(hx.num_switches(), 256);
+  EXPECT_EQ(hx.diameter_formula(), 8);
+}
+
+TEST(HammingMesh, LargeHx2UsesRailFatTrees) {
+  HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  EXPECT_EQ(hx.num_endpoints(), 16384);
+  EXPECT_EQ(hx.rail_levels_x(), 2);
+  // Paper (App. C): 2 * 64 * 2 * 6 = 1,536 switches per plane.
+  EXPECT_EQ(hx.num_switches(), 1536);
+  EXPECT_EQ(hx.diameter_formula(), 8);
+}
+
+TEST(HammingMesh, DiameterBfsMatchesFormulaSmallInstances) {
+  for (auto p : {HxMeshParams{.a = 2, .b = 2, .x = 4, .y = 4},
+                 HxMeshParams{.a = 4, .b = 4, .x = 3, .y = 3},
+                 HxMeshParams{.a = 1, .b = 1, .x = 6, .y = 6},
+                 HxMeshParams{.a = 3, .b = 2, .x = 4, .y = 3}}) {
+    HammingMesh hx(p);
+    EXPECT_EQ(hx.diameter(), hx.diameter_formula()) << hx.name();
+  }
+}
+
+TEST(HammingMesh, ClosedFormDistanceMatchesBfs) {
+  HammingMesh hx({.a = 3, .b = 2, .x = 4, .y = 3});
+  for (int dst = 0; dst < hx.num_endpoints(); dst += 5) {
+    auto dist = hx.graph().dist_to(hx.endpoint_node(dst));
+    for (int src = 0; src < hx.num_endpoints(); ++src)
+      ASSERT_EQ(hx.dist(src, dst), dist[hx.endpoint_node(src)])
+          << "src=" << src << " dst=" << dst;
+  }
+}
+
+TEST(HammingMesh, ClosedFormDistanceMatchesBfsWithRailTrees) {
+  // Force two-level rails with a tiny radix so leaves > 1.
+  HammingMesh hx({.a = 2, .b = 2, .x = 6, .y = 6, .radix = 8});
+  EXPECT_EQ(hx.rail_levels_x(), 2);
+  for (int dst = 0; dst < hx.num_endpoints(); dst += 7) {
+    auto dist = hx.graph().dist_to(hx.endpoint_node(dst));
+    for (int src = 0; src < hx.num_endpoints(); ++src)
+      ASSERT_EQ(hx.dist(src, dst), dist[hx.endpoint_node(src)])
+          << "src=" << src << " dst=" << dst;
+  }
+}
+
+TEST(HammingMesh, SampledPathsAreMinimal) {
+  HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  check_sampled_paths(hx, 80);
+  HammingMesh hyperx({.a = 1, .b = 1, .x = 8, .y = 8});
+  check_sampled_paths(hyperx, 60);
+  HammingMesh trees({.a = 2, .b = 2, .x = 6, .y = 6, .radix = 8});
+  check_sampled_paths(trees, 60);
+}
+
+TEST(HammingMesh, EndpointPortCount) {
+  HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  // Every accelerator has exactly 4 outgoing links in the plane:
+  // corner accelerators have 2 mesh + 2 rail ports, inner mesh-only... for
+  // a 2x2 board every accelerator sits on both a W/E and an S/N edge.
+  for (int r = 0; r < hx.num_endpoints(); ++r)
+    EXPECT_EQ(hx.graph().out_links(hx.endpoint_node(r)).size(), 4u) << r;
+}
+
+TEST(HammingMesh, MeshOnlyAcceleratorsOnBigBoards) {
+  HammingMesh hx({.a = 4, .b = 4, .x = 2, .y = 2});
+  // Inner accelerators of a 4x4 board touch only the on-board mesh.
+  int inner = hx.rank_at(1, 1);
+  for (LinkId l : hx.graph().out_links(hx.endpoint_node(inner)))
+    EXPECT_EQ(hx.graph().link(l).cable, CableKind::kPcb);
+}
+
+TEST(HammingMesh, BadParamsThrow) {
+  EXPECT_THROW(HammingMesh({.a = 0, .b = 2, .x = 4, .y = 4}),
+               std::invalid_argument);
+}
+
+// Rank/coordinate round-trips.
+TEST(HammingMesh, CoordinateRoundTrip) {
+  HammingMesh hx({.a = 2, .b = 3, .x = 5, .y = 4});
+  for (int r = 0; r < hx.num_endpoints(); ++r) {
+    EXPECT_EQ(hx.rank_at(hx.gx_of(r), hx.gy_of(r)), r);
+  }
+  EXPECT_EQ(hx.accel_x(), 10);
+  EXPECT_EQ(hx.accel_y(), 12);
+}
+
+}  // namespace
+}  // namespace hxmesh::topo
