@@ -1,0 +1,104 @@
+// Shared plumbing of the bench binaries: paper topology specs/labels for
+// the harness, the worker-thread convention, and JSON emission for benches
+// whose metrics are not plain sweep rows.
+//
+// Every bench follows the same shape: describe jobs, run them through an
+// ExperimentHarness (parallel, deterministic), print the paper-style ASCII
+// table, and drop a machine-readable BENCH_<name>.json next to the cwd.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "engine/harness.hpp"
+#include "topo/zoo.hpp"
+
+namespace hxmesh::benchutil {
+
+/// Worker threads for bench harnesses: $HXMESH_THREADS, else hardware.
+inline int threads() {
+  if (const char* env = std::getenv("HXMESH_THREADS")) return std::atoi(env);
+  return 0;
+}
+
+/// Factory specs of the eight Table II machines, in row order.
+inline std::vector<std::string> paper_specs(topo::ClusterSize size) {
+  std::vector<std::string> specs;
+  for (auto which : topo::paper_topology_list())
+    specs.push_back(engine::paper_topology_spec(which, size));
+  return specs;
+}
+
+/// Table II row labels, in row order.
+inline std::vector<std::string> paper_labels() {
+  std::vector<std::string> labels;
+  for (auto which : topo::paper_topology_list())
+    labels.push_back(topo::paper_topology_label(which));
+  return labels;
+}
+
+/// Writes hand-built JSON rows as an array (benches with custom metrics).
+inline void write_json_objects(const std::string& path,
+                               const std::vector<JsonObject>& rows) {
+  std::vector<std::string> rendered;
+  rendered.reserve(rows.size());
+  for (const JsonObject& row : rows) rendered.push_back(row.wrapped());
+  engine::write_json_rendered(path, rendered);
+}
+
+/// Shared body of fig13 (large) and fig17 (small): the global-allreduce
+/// %-of-peak grid — 8 topologies x 6 message sizes x {rings, 2D-torus
+/// algorithm} on the flow engine — printed as the paper's table and
+/// written to `json_path`.
+inline void run_allreduce_figure(topo::ClusterSize size,
+                                 const std::string& json_path) {
+  const std::vector<double> sizes = {1e6, 16e6, 256e6, 1e9, 4e9, 16e9};
+
+  engine::ExperimentHarness harness(threads());
+  engine::SweepConfig sweep;
+  sweep.topologies = paper_specs(size);
+  sweep.engines = {"flow"};
+  for (bool torus : {false, true})
+    for (double s : sizes) {
+      flow::TrafficSpec spec;
+      spec.kind = flow::PatternKind::kAllreduce;
+      spec.torus_algorithm = torus;
+      spec.message_bytes = static_cast<std::uint64_t>(s);
+      sweep.patterns.push_back(spec);
+    }
+  auto rows = harness.run_grid(sweep, paper_labels());
+
+  std::vector<std::string> headers = {"Topology", "algorithm"};
+  for (double s : sizes) headers.push_back(fmt(s / 1e6, 0) + "MB");
+  Table table(headers);
+  const std::size_t np = sweep.patterns.size();
+  auto labels = paper_labels();
+  for (std::size_t ti = 0; ti < sweep.topologies.size(); ++ti) {
+    std::vector<std::string> row = {labels[ti], "rings"};
+    for (std::size_t si = 0; si < sizes.size(); ++si)
+      row.push_back(fmt(rows[ti * np + si].result.fraction_of_peak * 100, 1));
+    table.add_row(row);
+    // The 2D-torus algorithm only applies to grid machines.
+    auto which = topo::paper_topology_list()[ti];
+    bool grid = which == topo::PaperTopology::kHx2Mesh ||
+                which == topo::PaperTopology::kHx4Mesh ||
+                which == topo::PaperTopology::kTorus;
+    if (grid) {
+      std::vector<std::string> row2 = {"", "torus"};
+      for (std::size_t si = 0; si < sizes.size(); ++si)
+        row2.push_back(fmt(
+            rows[ti * np + sizes.size() + si].result.fraction_of_peak * 100,
+            1));
+      table.add_row(row2);
+    }
+  }
+  table.print();
+  engine::write_json(json_path, rows);
+}
+
+}  // namespace hxmesh::benchutil

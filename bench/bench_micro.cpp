@@ -1,13 +1,12 @@
 // google-benchmark microbenchmarks of the core engines: event queue,
-// packet simulator, flow solver, routing/BFS, allocator, and the
-// Hamiltonian-ring construction.
+// packet engine, flow engine, routing/BFS, allocator, the
+// Hamiltonian-ring construction, and a full harness grid.
 #include <benchmark/benchmark.h>
 
 #include "alloc/experiments.hpp"
 #include "collectives/hamiltonian.hpp"
-#include "flow/flow_sim.hpp"
-#include "flow/patterns.hpp"
-#include "sim/packet_sim.hpp"
+#include "engine/harness.hpp"
+#include "sim/event_queue.hpp"
 #include "topo/fattree.hpp"
 #include "topo/hammingmesh.hpp"
 
@@ -27,29 +26,32 @@ static void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
-static void BM_PacketSimPermutation(benchmark::State& state) {
+static void BM_PacketEnginePermutation(benchmark::State& state) {
   topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  auto eng = engine::make_engine("packet", hx);
+  flow::TrafficSpec spec;
+  spec.kind = flow::PatternKind::kShift;
+  spec.shift = 17;
+  spec.message_bytes = 64 * KiB;
   for (auto _ : state) {
-    sim::PacketSim sim(hx);
-    int n = hx.num_endpoints();
-    for (int i = 0; i < n; ++i)
-      sim.send_message(i, (i + 17) % n, 64 * KiB, nullptr);
-    sim.run();
-    benchmark::DoNotOptimize(sim.stats().packets_delivered);
+    auto result = eng->run(spec);
+    benchmark::DoNotOptimize(result.completion_s);
   }
 }
-BENCHMARK(BM_PacketSimPermutation);
+BENCHMARK(BM_PacketEnginePermutation);
 
-static void BM_FlowSolverShift(benchmark::State& state) {
+static void BM_FlowEngineShift(benchmark::State& state) {
   topo::HammingMesh hx({.a = 2, .b = 2, .x = 16, .y = 16});
-  flow::FlowSolver solver(hx);
+  auto eng = engine::make_engine("flow", hx);
+  flow::TrafficSpec spec;
+  spec.kind = flow::PatternKind::kShift;
+  spec.shift = 321;
   for (auto _ : state) {
-    auto flows = flow::shift_pattern(hx.num_endpoints(), 321);
-    solver.solve(flows);
-    benchmark::DoNotOptimize(flows.front().rate);
+    auto result = eng->run(spec);
+    benchmark::DoNotOptimize(result.rate_summary.mean);
   }
 }
-BENCHMARK(BM_FlowSolverShift);
+BENCHMARK(BM_FlowEngineShift);
 
 static void BM_BfsDistanceField(benchmark::State& state) {
   topo::FatTree ft({.num_endpoints = 1024});
@@ -80,5 +82,23 @@ static void BM_HamiltonianRings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HamiltonianRings);
+
+static void BM_HarnessGrid(benchmark::State& state) {
+  // A small 2-topology x 2-pattern grid over the thread-count under test.
+  for (auto _ : state) {
+    engine::ExperimentHarness harness(static_cast<int>(state.range(0)));
+    engine::SweepConfig sweep;
+    sweep.topologies = {"hx2mesh:4x4", "torus:8x8"};
+    flow::TrafficSpec shift;
+    shift.kind = flow::PatternKind::kShift;
+    shift.shift = 3;
+    flow::TrafficSpec perm;
+    perm.kind = flow::PatternKind::kPermutation;
+    sweep.patterns = {shift, perm};
+    auto rows = harness.run_grid(sweep);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_HarnessGrid)->Arg(1)->Arg(4);
 
 BENCHMARK_MAIN();

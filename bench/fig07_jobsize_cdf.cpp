@@ -1,10 +1,12 @@
 // Regenerates Figure 7: cumulative distribution of the proportion of
 // boards allocated to jobs of a given size, for the synthetic stand-in of
 // the Alibaba MLaaS trace (DESIGN.md §3.2) and for the sampled job mixes
-// that fully occupy the cluster.
+// that fully occupy the cluster. The 1,000 sampled mixes run as 10
+// independently seeded chunks fanned across the harness pool.
 #include <cstdio>
 
 #include "alloc/jobs.hpp"
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 
@@ -14,23 +16,36 @@ int main() {
   std::printf("Figure 7: proportion of boards allocated to jobs by size\n\n");
   alloc::JobSizeDistribution dist(1024);
 
-  Table table({"job size [boards]", "P(job <= size)", "boards CDF (analytic)",
-               "boards CDF (sampled mixes)"});
-  // Empirical board CDF from sampled full-cluster mixes.
-  Rng rng(2026);
-  std::vector<int> carry;
+  // Empirical board CDF from sampled full-cluster mixes. Each chunk owns
+  // its RNG stream and carry list, so chunks are order-independent.
+  engine::ExperimentHarness harness(benchutil::threads());
+  const int chunks = 10, mixes_per_chunk = 100;
+  auto chunk_boards = harness.map<std::vector<double>>(
+      chunks, [&](std::size_t chunk) {
+        Rng rng(2026 + chunk);
+        std::vector<int> carry;
+        std::vector<double> boards_at(dist.sizes().size(), 0.0);
+        for (int mix = 0; mix < mixes_per_chunk; ++mix) {
+          auto jobs = alloc::draw_job_mix(dist, 4096, rng, carry);
+          for (int s : jobs)
+            for (std::size_t i = 0; i < dist.sizes().size(); ++i)
+              if (dist.sizes()[i] == s) boards_at[i] += s;
+        }
+        return boards_at;
+      });
   std::vector<double> boards_at(dist.sizes().size(), 0.0);
   double boards_total = 0.0;
-  for (int mix = 0; mix < 1000; ++mix) {
-    auto jobs = alloc::draw_job_mix(dist, 4096, rng, carry);
-    for (int s : jobs) {
-      for (std::size_t i = 0; i < dist.sizes().size(); ++i)
-        if (dist.sizes()[i] == s) boards_at[i] += s;
-      boards_total += s;
+  for (const auto& chunk : chunk_boards)
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      boards_at[i] += chunk[i];
+      boards_total += chunk[i];
     }
-  }
+
+  Table table({"job size [boards]", "P(job <= size)", "boards CDF (analytic)",
+               "boards CDF (sampled mixes)"});
   auto job_cdf = dist.job_cdf();
   auto board_cdf = dist.board_cdf();
+  std::vector<JsonObject> json;
   double sampled_cum = 0.0;
   for (std::size_t i = 0; i < dist.sizes().size(); ++i) {
     sampled_cum += boards_at[i] / boards_total;
@@ -38,6 +53,12 @@ int main() {
                    fmt(job_cdf[i].fraction * 100, 1) + "%",
                    fmt(board_cdf[i].fraction * 100, 1) + "%",
                    fmt(sampled_cum * 100, 1) + "%"});
+    JsonObject obj;
+    obj.add("size_boards", dist.sizes()[i])
+        .add("job_cdf", job_cdf[i].fraction)
+        .add("board_cdf", board_cdf[i].fraction)
+        .add("sampled_board_cdf", sampled_cum);
+    json.push_back(std::move(obj));
   }
   table.print();
 
@@ -47,5 +68,6 @@ int main() {
   std::printf("\nboards belonging to jobs of < 100 boards: %.0f%% "
               "(paper annotation: ~39%%)\n",
               below100 * 100);
+  benchutil::write_json_objects("BENCH_fig07.json", json);
   return 0;
 }

@@ -1,9 +1,11 @@
 // Regenerates Figure 8: system utilization of the greedy allocator under
 // the six heuristic stacks, on the four HxMesh clusters (small/large
-// Hx2Mesh and Hx4Mesh board grids).
+// Hx2Mesh and Hx4Mesh board grids). All 24 (cluster, stack) experiments
+// fan across the harness pool.
 #include <cstdio>
 
 #include "alloc/experiments.hpp"
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 
@@ -17,36 +19,52 @@ int main() {
     const char* name;
     int x, y;
   };
-  const Cluster clusters[] = {{"Small 16x16 Hx2Mesh", 16, 16},
-                              {"Small 8x8 Hx4Mesh", 8, 8},
-                              {"Large 64x64 Hx2Mesh", 64, 64},
-                              {"Large 32x32 Hx4Mesh", 32, 32}};
-  const HeuristicStack stacks[] = {
+  const std::vector<Cluster> clusters = {{"Small 16x16 Hx2Mesh", 16, 16},
+                                         {"Small 8x8 Hx4Mesh", 8, 8},
+                                         {"Large 64x64 Hx2Mesh", 64, 64},
+                                         {"Large 32x32 Hx4Mesh", 32, 32}};
+  const std::vector<HeuristicStack> stacks = {
       HeuristicStack::kGreedy,        HeuristicStack::kTranspose,
       HeuristicStack::kAspect,        HeuristicStack::kAspectLocality,
       HeuristicStack::kAspectSort,    HeuristicStack::kAll};
 
-  for (const Cluster& c : clusters) {
-    std::printf("-- %s --\n", c.name);
+  engine::ExperimentHarness harness(benchutil::threads());
+  const std::size_t jobs = clusters.size() * stacks.size();
+  auto results =
+      harness.map<alloc::ExperimentResult>(jobs, [&](std::size_t i) {
+        const Cluster& c = clusters[i / stacks.size()];
+        alloc::ExperimentConfig cfg;
+        cfg.x = c.x;
+        cfg.y = c.y;
+        cfg.stack = stacks[i % stacks.size()];
+        cfg.trials = c.x >= 64 ? 60 : 200;
+        cfg.seed = 7;
+        return alloc::run_allocation_experiment(cfg);
+      });
+
+  std::vector<JsonObject> json;
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    std::printf("-- %s --\n", clusters[ci].name);
     Table table({"heuristics", "mean", "median", "p99-low", "min", "max"});
-    for (HeuristicStack stack : stacks) {
-      alloc::ExperimentConfig cfg;
-      cfg.x = c.x;
-      cfg.y = c.y;
-      cfg.stack = stack;
-      cfg.trials = c.x >= 64 ? 60 : 200;
-      cfg.seed = 7;
-      auto r = alloc::run_allocation_experiment(cfg);
-      table.add_row({alloc::heuristic_label(stack),
-                     fmt(r.utilization.mean * 100, 1) + "%",
-                     fmt(r.utilization.median * 100, 1) + "%",
-                     fmt(r.utilization.p01 * 100, 1) + "%",
-                     fmt(r.utilization.min * 100, 1) + "%",
-                     fmt(r.utilization.max * 100, 1) + "%"});
-      std::fflush(stdout);
+    for (std::size_t si = 0; si < stacks.size(); ++si) {
+      const Summary& u = results[ci * stacks.size() + si].utilization;
+      table.add_row({alloc::heuristic_label(stacks[si]),
+                     fmt(u.mean * 100, 1) + "%", fmt(u.median * 100, 1) + "%",
+                     fmt(u.p01 * 100, 1) + "%", fmt(u.min * 100, 1) + "%",
+                     fmt(u.max * 100, 1) + "%"});
+      JsonObject obj;
+      obj.add("cluster", clusters[ci].name)
+          .add("heuristics", alloc::heuristic_label(stacks[si]))
+          .add("mean", u.mean)
+          .add("median", u.median)
+          .add("p01", u.p01)
+          .add("min", u.min)
+          .add("max", u.max);
+      json.push_back(std::move(obj));
     }
     table.print();
     std::printf("\n");
   }
+  benchutil::write_json_objects("BENCH_fig08.json", json);
   return 0;
 }

@@ -1,9 +1,11 @@
 // Regenerates Figure 9: fraction of traffic crossing the upper levels of
 // the rail fat trees for alltoall and allreduce jobs, large clusters, per
 // heuristic stack. Justifies the 2:1 tapering argument of Section III-F.
+// The 12 (cluster, stack) experiments fan across the harness pool.
 #include <cstdio>
 
 #include "alloc/experiments.hpp"
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 
@@ -16,33 +18,48 @@ int main() {
     const char* name;
     int x, y;
   };
-  const Cluster clusters[] = {{"Large 64x64 Hx2Mesh", 64, 64},
-                              {"Large 32x32 Hx4Mesh", 32, 32}};
-  const HeuristicStack stacks[] = {
+  const std::vector<Cluster> clusters = {{"Large 64x64 Hx2Mesh", 64, 64},
+                                         {"Large 32x32 Hx4Mesh", 32, 32}};
+  const std::vector<HeuristicStack> stacks = {
       HeuristicStack::kGreedy,        HeuristicStack::kTranspose,
       HeuristicStack::kAspect,        HeuristicStack::kAspectLocality,
       HeuristicStack::kAspectSort,    HeuristicStack::kAll};
 
-  for (const Cluster& c : clusters) {
-    std::printf("-- %s --\n", c.name);
+  engine::ExperimentHarness harness(benchutil::threads());
+  const std::size_t jobs = clusters.size() * stacks.size();
+  auto results =
+      harness.map<alloc::ExperimentResult>(jobs, [&](std::size_t i) {
+        const Cluster& c = clusters[i / stacks.size()];
+        alloc::ExperimentConfig cfg;
+        cfg.x = c.x;
+        cfg.y = c.y;
+        cfg.stack = stacks[i % stacks.size()];
+        cfg.trials = 40;
+        cfg.seed = 9;
+        return alloc::run_allocation_experiment(cfg);
+      });
+
+  std::vector<JsonObject> json;
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    std::printf("-- %s --\n", clusters[ci].name);
     Table table({"heuristics", "alltoall upper [%]", "allreduce upper [%]"});
-    for (HeuristicStack stack : stacks) {
-      alloc::ExperimentConfig cfg;
-      cfg.x = c.x;
-      cfg.y = c.y;
-      cfg.stack = stack;
-      cfg.trials = 40;
-      cfg.seed = 9;
-      auto r = alloc::run_allocation_experiment(cfg);
-      table.add_row({alloc::heuristic_label(stack),
+    for (std::size_t si = 0; si < stacks.size(); ++si) {
+      const auto& r = results[ci * stacks.size() + si];
+      table.add_row({alloc::heuristic_label(stacks[si]),
                      fmt(r.alltoall_upper.mean * 100, 1),
                      fmt(r.allreduce_upper.mean * 100, 1)});
-      std::fflush(stdout);
+      JsonObject obj;
+      obj.add("cluster", clusters[ci].name)
+          .add("heuristics", alloc::heuristic_label(stacks[si]))
+          .add("alltoall_upper", r.alltoall_upper.mean)
+          .add("allreduce_upper", r.allreduce_upper.mean);
+      json.push_back(std::move(obj));
     }
     table.print();
     std::printf("\n");
   }
   std::printf("Paper: both stay below 50%% (justifying 2:1 tapering); "
               "locality drops Hx4Mesh alltoall below 25%%.\n");
+  benchutil::write_json_objects("BENCH_fig09.json", json);
   return 0;
 }

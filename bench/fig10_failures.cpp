@@ -1,10 +1,13 @@
 // Regenerates Figure 10: HxMesh utilization (fraction of non-faulted
 // boards allocated) as a function of the number of randomly failed boards,
 // for the small and large Hx2/Hx4 clusters, with jobs allocated in arrival
-// order (unsorted) and sorted by size.
+// order (unsorted) and sorted by size. Every (failure count, sorting)
+// point is one independent experiment fanned across the harness pool.
 #include <cstdio>
+#include <vector>
 
 #include "alloc/experiments.hpp"
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 
@@ -13,27 +16,42 @@ using alloc::HeuristicStack;
 
 namespace {
 
-void run(const char* name, int x, int y, const std::vector<int>& failures) {
+void run(engine::ExperimentHarness& harness, std::vector<JsonObject>& json,
+         const char* name, int x, int y, const std::vector<int>& failures) {
   std::printf("-- %s (%d boards) --\n", name, x * y);
+  // Jobs: failures x {unsorted, sorted}.
+  auto results = harness.map<alloc::ExperimentResult>(
+      failures.size() * 2, [&](std::size_t i) {
+        int f = failures[i / 2];
+        alloc::ExperimentConfig cfg;
+        cfg.x = x;
+        cfg.y = y;
+        cfg.trials = x >= 64 ? 40 : 120;
+        cfg.failed_boards = f;
+        cfg.seed = 10 + f;
+        cfg.stack = i % 2 == 0 ? HeuristicStack::kAspect       // unsorted
+                               : HeuristicStack::kAspectSort;  // sorted
+        return alloc::run_allocation_experiment(cfg);
+      });
+
   Table table({"failed boards", "unsorted mean", "unsorted median",
                "sorted mean", "sorted median"});
-  for (int f : failures) {
-    alloc::ExperimentConfig cfg;
-    cfg.x = x;
-    cfg.y = y;
-    cfg.trials = x >= 64 ? 40 : 120;
-    cfg.failed_boards = f;
-    cfg.seed = 10 + f;
-    cfg.stack = HeuristicStack::kAspect;  // unsorted
-    auto unsorted = alloc::run_allocation_experiment(cfg);
-    cfg.stack = HeuristicStack::kAspectSort;
-    auto sorted = alloc::run_allocation_experiment(cfg);
-    table.add_row({std::to_string(f),
-                   fmt(unsorted.utilization.mean * 100, 1) + "%",
-                   fmt(unsorted.utilization.median * 100, 1) + "%",
-                   fmt(sorted.utilization.mean * 100, 1) + "%",
-                   fmt(sorted.utilization.median * 100, 1) + "%"});
-    std::fflush(stdout);
+  for (std::size_t fi = 0; fi < failures.size(); ++fi) {
+    const Summary& unsorted = results[fi * 2].utilization;
+    const Summary& sorted = results[fi * 2 + 1].utilization;
+    table.add_row({std::to_string(failures[fi]),
+                   fmt(unsorted.mean * 100, 1) + "%",
+                   fmt(unsorted.median * 100, 1) + "%",
+                   fmt(sorted.mean * 100, 1) + "%",
+                   fmt(sorted.median * 100, 1) + "%"});
+    JsonObject obj;
+    obj.add("cluster", name)
+        .add("failed_boards", failures[fi])
+        .add("unsorted_mean", unsorted.mean)
+        .add("unsorted_median", unsorted.median)
+        .add("sorted_mean", sorted.mean)
+        .add("sorted_median", sorted.median);
+    json.push_back(std::move(obj));
   }
   table.print();
   std::printf("\n");
@@ -43,9 +61,12 @@ void run(const char* name, int x, int y, const std::vector<int>& failures) {
 
 int main() {
   std::printf("Figure 10: utilization of working boards vs failed boards\n\n");
-  run("Small Hx2Mesh 16x16", 16, 16, {0, 8, 16, 24, 32, 40, 48});
-  run("Small Hx4Mesh 8x8", 8, 8, {0, 8, 16, 24, 32, 40});
-  run("Large Hx2Mesh 64x64", 64, 64, {0, 25, 50, 75, 100, 125});
-  run("Large Hx4Mesh 32x32", 32, 32, {0, 25, 50, 75, 100, 125});
+  engine::ExperimentHarness harness(benchutil::threads());
+  std::vector<JsonObject> json;
+  run(harness, json, "Small Hx2Mesh 16x16", 16, 16, {0, 8, 16, 24, 32, 40, 48});
+  run(harness, json, "Small Hx4Mesh 8x8", 8, 8, {0, 8, 16, 24, 32, 40});
+  run(harness, json, "Large Hx2Mesh 64x64", 64, 64, {0, 25, 50, 75, 100, 125});
+  run(harness, json, "Large Hx4Mesh 32x32", 32, 32, {0, 25, 50, 75, 100, 125});
+  benchutil::write_json_objects("BENCH_fig10.json", json);
   return 0;
 }

@@ -1,14 +1,14 @@
 // Regenerates Figure 12: distribution of per-accelerator receive bandwidth
 // under random permutation traffic on the small topologies, plus the
 // average bandwidth and the cost per average bandwidth relative to the
-// nonblocking fat tree.
+// nonblocking fat tree. One harness grid: 8 topologies x 4 permutation
+// seeds on the flow engine, solved in parallel.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "cost/cost_model.hpp"
-#include "flow/patterns.hpp"
-#include "topo/zoo.hpp"
 
 using namespace hxmesh;
 
@@ -16,29 +16,41 @@ int main() {
   std::printf("Figure 12: receive bandwidth distribution, random "
               "permutations, small cluster [GB/s per accelerator/plane "
               "set]\n\n");
+  engine::ExperimentHarness harness(benchutil::threads());
+
+  engine::SweepConfig sweep;
+  sweep.topologies = benchutil::paper_specs(topo::ClusterSize::kSmall);
+  sweep.engines = {"flow"};
+  flow::TrafficSpec perm;
+  perm.kind = flow::PatternKind::kPermutation;
+  sweep.patterns = {perm};
+  sweep.seeds = {31, 32, 33, 34};
+  auto rows = harness.run_grid(sweep, benchutil::paper_labels());
+
+  // Network cost per topology, computed alongside.
+  auto costs = harness.map<double>(sweep.topologies.size(), [&](std::size_t i) {
+    auto t = engine::make_topology(sweep.topologies[i]);
+    return cost::bom_for(*t).total_musd();
+  });
+
   Table table({"Topology", "min", "p25", "median", "p75", "max", "mean",
                "cost/avgBW vs FT"});
+  const std::size_t trials = sweep.seeds.size();
   double ft_ratio = 0.0;
-  for (auto which : topo::paper_topology_list()) {
-    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
-    flow::FlowSolver solver(*t);
-    Rng rng(31);
+  for (std::size_t ti = 0; ti < sweep.topologies.size(); ++ti) {
+    // Pool per-flow receive rates over all seeds of this topology.
     std::vector<double> rx;
-    for (int trial = 0; trial < 4; ++trial) {
-      auto flows = flow::random_permutation(t->num_endpoints(), rng);
-      solver.solve(flows);
-      for (const auto& f : flows) rx.push_back(f.rate / 1e9);
-    }
+    for (std::size_t si = 0; si < trials; ++si)
+      for (const auto& f : rows[ti * trials + si].result.flows)
+        rx.push_back(f.rate / 1e9);
     Summary s = summarize(std::move(rx));
-    double cost = cost::bom_for(*t).total_musd();
-    double ratio = cost / s.mean;
-    if (which == topo::PaperTopology::kFatTree) ft_ratio = ratio;
-    table.add_row({topo::paper_topology_label(which), fmt(s.min, 1),
-                   fmt(s.p25, 1), fmt(s.median, 1), fmt(s.p75, 1),
-                   fmt(s.max, 1), fmt(s.mean, 1),
-                   fmt(ratio / ft_ratio, 2) + "x"});
-    std::fflush(stdout);
+    double ratio = costs[ti] / s.mean;
+    if (ti == 0) ft_ratio = ratio;  // row 0 is the nonblocking fat tree
+    table.add_row({rows[ti * trials].label, fmt(s.min, 1), fmt(s.p25, 1),
+                   fmt(s.median, 1), fmt(s.p75, 1), fmt(s.max, 1),
+                   fmt(s.mean, 1), fmt(ratio / ft_ratio, 2) + "x"});
   }
   table.print();
+  engine::write_json("BENCH_fig12.json", rows);
   return 0;
 }

@@ -1,14 +1,12 @@
 // Regenerates Figure 13: full-system allreduce bandwidth (as % of the
 // theoretical peak, injection/2) vs message size on the LARGE clusters,
 // comparing the bidirectional-ring family ("rings", two edge-disjoint
-// Hamiltonian cycles on HxMesh/torus) with the 2D-torus algorithm.
+// Hamiltonian cycles on HxMesh/torus) with the 2D-torus algorithm. One
+// harness grid (shared with fig17): 8 topologies x 6 sizes x 2 algorithms
+// on the flow engine.
 #include <cstdio>
-#include <vector>
 
-#include "collectives/models.hpp"
-#include "core/stats.hpp"
-#include "core/table.hpp"
-#include "topo/zoo.hpp"
+#include "bench_common.hpp"
 
 using namespace hxmesh;
 
@@ -17,32 +15,7 @@ int main(int argc, char** argv) {
                                               : topo::ClusterSize::kLarge;
   std::printf("Figure 13: global allreduce, %s cluster (%% of peak)\n\n",
               size == topo::ClusterSize::kSmall ? "small" : "large");
-  const std::vector<double> sizes = {1e6, 16e6, 256e6, 1e9, 4e9, 16e9};
-  std::vector<std::string> headers = {"Topology", "algorithm"};
-  for (double s : sizes) headers.push_back(fmt(s / 1e6, 0) + "MB");
-  Table table(headers);
-  for (auto which : topo::paper_topology_list()) {
-    auto t = topo::make_paper_topology(which, size);
-    auto ring = collectives::measure_ring(*t);
-    std::vector<std::string> row = {topo::paper_topology_label(which),
-                                    "rings"};
-    for (double s : sizes)
-      row.push_back(
-          fmt(collectives::allreduce_fraction_of_peak(ring, s) * 100, 1));
-    table.add_row(row);
-    bool grid = which == topo::PaperTopology::kHx2Mesh ||
-                which == topo::PaperTopology::kHx4Mesh ||
-                which == topo::PaperTopology::kTorus;
-    if (grid) {
-      std::vector<std::string> row2 = {"", "torus"};
-      for (double s : sizes)
-        row2.push_back(fmt(
-            collectives::allreduce_fraction_of_peak(ring, s, true) * 100, 1));
-      table.add_row(row2);
-    }
-    std::fflush(stdout);
-  }
-  table.print();
+  benchutil::run_allreduce_figure(size, "BENCH_fig13.json");
   std::printf("\n(The torus algorithm's sqrt(p) latency wins at small "
               "messages; rings win at large messages — the Figure 13 "
               "crossover.)\n");

@@ -1,15 +1,16 @@
 // Regenerates Figure 15 and the Section V-B runtime numbers: per-iteration
 // runtimes of ResNet-152, GPT-3, GPT-3 MoE, CosmoFlow and DLRM on every
 // topology, and the HxMesh cost savings relative to the other topologies
-// (cost ratio times the inverse ratio of communication overheads).
+// (cost ratio times the inverse ratio of communication overheads). The
+// per-topology model evaluations fan across the harness pool.
+#include <algorithm>
 #include <cstdio>
-#include <map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "cost/cost_model.hpp"
-#include "topo/zoo.hpp"
 #include "workload/dnn.hpp"
 
 using namespace hxmesh;
@@ -17,47 +18,73 @@ using namespace hxmesh;
 int main() {
   std::printf("Section V-B: DNN iteration times [ms] (compute + exposed "
               "communication)\n\n");
-  std::map<topo::PaperTopology, std::vector<workload::ModelResult>> results;
-  std::map<topo::PaperTopology, double> costs;
+  engine::ExperimentHarness harness(benchutil::threads());
+  auto specs = benchutil::paper_specs(topo::ClusterSize::kSmall);
+  auto labels = benchutil::paper_labels();
+
+  struct PerTopology {
+    std::vector<workload::ModelResult> results;
+    double cost_musd = 0;
+  };
+  auto evals = harness.map<PerTopology>(specs.size(), [&](std::size_t i) {
+    auto t = engine::make_topology(specs[i]);
+    workload::CommEnv env(*t);
+    return PerTopology{workload::eval_all_models(env),
+                       cost::bom_for(*t).total_musd()};
+  });
+
   std::vector<std::string> model_names;
+  for (const auto& r : evals.front().results) model_names.push_back(r.model);
 
   Table runtimes({"Topology", "ResNet-152", "GPT-3", "GPT-3 MoE",
                   "CosmoFlow", "DLRM"});
-  for (auto which : topo::paper_topology_list()) {
-    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
-    workload::CommEnv env(*t);
-    results[which] = workload::eval_all_models(env);
-    costs[which] = cost::bom_for(*t).total_musd();
-    std::vector<std::string> row = {topo::paper_topology_label(which)};
-    for (const auto& r : results[which]) row.push_back(fmt(r.iteration_ms, 2));
+  std::vector<JsonObject> json;
+  for (std::size_t ti = 0; ti < specs.size(); ++ti) {
+    std::vector<std::string> row = {labels[ti]};
+    for (const auto& r : evals[ti].results) {
+      row.push_back(fmt(r.iteration_ms, 2));
+      JsonObject obj;
+      obj.add("topology", specs[ti])
+          .add("label", labels[ti])
+          .add("model", r.model)
+          .add("iteration_ms", r.iteration_ms)
+          .add("compute_ms", r.compute_ms)
+          .add("overhead_ms", r.overhead_ms())
+          .add("cost_musd", evals[ti].cost_musd);
+      json.push_back(std::move(obj));
+    }
     runtimes.add_row(row);
-    if (model_names.empty())
-      for (const auto& r : results[which]) model_names.push_back(r.model);
-    std::fflush(stdout);
   }
   runtimes.print();
 
-  for (auto hx : {topo::PaperTopology::kHx2Mesh,
-                  topo::PaperTopology::kHx4Mesh}) {
+  auto index_of = [&](topo::PaperTopology which) {
+    auto list = topo::paper_topology_list();
+    return static_cast<std::size_t>(
+        std::find(list.begin(), list.end(), which) - list.begin());
+  };
+  for (std::size_t hx : {index_of(topo::PaperTopology::kHx2Mesh),
+                         index_of(topo::PaperTopology::kHx4Mesh)}) {
     std::printf("\nFigure 15: %s cost savings vs other topologies\n"
                 "(network cost ratio x inverse communication-overhead "
                 "ratio)\n\n",
-                topo::paper_topology_label(hx).c_str());
+                labels[hx].c_str());
     std::vector<std::string> headers = {"vs topology"};
     for (const auto& m : model_names) headers.push_back(m);
     Table table(headers);
-    for (auto other : topo::paper_topology_list()) {
+    for (std::size_t other = 0; other < specs.size(); ++other) {
       if (other == hx) continue;
-      std::vector<std::string> row = {topo::paper_topology_label(other)};
+      std::vector<std::string> row = {labels[other]};
       for (std::size_t m = 0; m < model_names.size(); ++m) {
-        double cost_ratio = costs[other] / costs[hx];
-        double hx_over = std::max(1e-6, results[hx][m].overhead_ms());
-        double other_over = std::max(1e-6, results[other][m].overhead_ms());
+        double cost_ratio = evals[other].cost_musd / evals[hx].cost_musd;
+        double hx_over = std::max(1e-6, evals[hx].results[m].overhead_ms());
+        double other_over =
+            std::max(1e-6, evals[other].results[m].overhead_ms());
         row.push_back(fmt(cost_ratio * other_over / hx_over, 1));
       }
       table.add_row(row);
     }
     table.print();
   }
+  benchutil::write_json_objects("BENCH_fig15.json", json);
   return 0;
 }

@@ -1,17 +1,27 @@
 // Regenerates Figure 16: the two edge-disjoint Hamiltonian cycles for the
 // 4x4, 8x4, 9x3 and 16x8 tori, with an ASCII rendering and verification of
-// the Hamiltonian and edge-disjointness properties.
+// the Hamiltonian and edge-disjointness properties. The four shapes render
+// in parallel on the harness pool; output stays in figure order.
 #include <cstdio>
 #include <set>
+#include <string>
 
+#include "bench_common.hpp"
 #include "collectives/hamiltonian.hpp"
 
+using namespace hxmesh;
 using namespace hxmesh::collectives;
 
 namespace {
 
+void append(std::string& out, const char* format, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, args...);
+  out += buf;
+}
+
 // Renders a ring as the sequence of directions taken from each cell.
-void render(const DisjointRings& rings, int rows, int cols) {
+std::string render(const DisjointRings& rings, int rows, int cols) {
   // For each cell, mark which ring(s) use its east and south edges.
   auto edge_set = [&](const std::vector<Coord>& ring) {
     std::set<std::pair<int, int>> edges;
@@ -31,34 +41,44 @@ void render(const DisjointRings& rings, int rows, int cols) {
     if (green.count(e)) return 'G';
     return '.';
   };
+  std::string out;
   for (int r = 0; r < rows; ++r) {
     // East edges (including wrap shown at the right margin).
     for (int c = 0; c < cols; ++c)
-      std::printf("o%c", mark(r * cols + c, r * cols + (c + 1) % cols));
-    std::printf("  (row %d, last column shows wrap edge)\n", r);
+      append(out, "o%c", mark(r * cols + c, r * cols + (c + 1) % cols));
+    append(out, "  (row %d, last column shows wrap edge)\n", r);
     if (r + 1 <= rows - 1 || rows > 1) {
       for (int c = 0; c < cols; ++c)
-        std::printf("%c ", mark(r * cols + c, ((r + 1) % rows) * cols + c));
-      std::printf("\n");
+        append(out, "%c ", mark(r * cols + c, ((r + 1) % rows) * cols + c));
+      out += "\n";
     }
   }
+  return out;
 }
 
-void show(int rows, int cols) {
-  std::printf("== %dx%d torus ==\n", rows, cols);
+struct Rendered {
+  std::string text;
+  bool red_ok = false, green_ok = false;
+};
+
+Rendered show(int rows, int cols) {
+  Rendered result;
+  append(result.text, "== %dx%d torus ==\n", rows, cols);
   DisjointRings rings = disjoint_hamiltonian_rings(rows, cols);
-  bool red_ok = is_torus_neighbor_ring(rings.red, rows, cols);
-  bool green_ok = is_torus_neighbor_ring(rings.green, rows, cols);
-  std::printf("red ring Hamiltonian cycle: %s, green: %s\n",
-              red_ok ? "yes" : "NO", green_ok ? "yes" : "NO");
-  render(rings, rows, cols);
-  std::printf("red cycle:  ");
+  result.red_ok = is_torus_neighbor_ring(rings.red, rows, cols);
+  result.green_ok = is_torus_neighbor_ring(rings.green, rows, cols);
+  append(result.text, "red ring Hamiltonian cycle: %s, green: %s\n",
+         result.red_ok ? "yes" : "NO", result.green_ok ? "yes" : "NO");
+  result.text += render(rings, rows, cols);
+  result.text += "red cycle:  ";
   for (std::size_t i = 0; i < rings.red.size() && i < 12; ++i)
-    std::printf("(%d,%d) ", rings.red[i].first, rings.red[i].second);
-  std::printf("...\ngreen cycle: ");
+    append(result.text, "(%d,%d) ", rings.red[i].first, rings.red[i].second);
+  result.text += "...\ngreen cycle: ";
   for (std::size_t i = 0; i < rings.green.size() && i < 12; ++i)
-    std::printf("(%d,%d) ", rings.green[i].first, rings.green[i].second);
-  std::printf("...\n\n");
+    append(result.text, "(%d,%d) ", rings.green[i].first,
+           rings.green[i].second);
+  result.text += "...\n\n";
+  return result;
 }
 
 }  // namespace
@@ -66,9 +86,22 @@ void show(int rows, int cols) {
 int main() {
   std::printf("Figure 16: edge-disjoint Hamiltonian cycles (R = red ring "
               "edge, G = green, . = unused)\n\n");
-  show(4, 4);
-  show(8, 4);
-  show(9, 3);
-  show(16, 8);
+  const std::vector<std::pair<int, int>> shapes = {
+      {4, 4}, {8, 4}, {9, 3}, {16, 8}};
+  engine::ExperimentHarness harness(benchutil::threads());
+  auto rendered = harness.map<Rendered>(shapes.size(), [&](std::size_t i) {
+    return show(shapes[i].first, shapes[i].second);
+  });
+  std::vector<JsonObject> json;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    std::fputs(rendered[i].text.c_str(), stdout);
+    JsonObject obj;
+    obj.add("rows", shapes[i].first)
+        .add("cols", shapes[i].second)
+        .add("red_hamiltonian", rendered[i].red_ok)
+        .add("green_hamiltonian", rendered[i].green_ok);
+    json.push_back(std::move(obj));
+  }
+  benchutil::write_json_objects("BENCH_fig16.json", json);
   return 0;
 }

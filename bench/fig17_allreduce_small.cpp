@@ -1,42 +1,16 @@
 // Regenerates Figure 17 (Appendix G): global allreduce bandwidth vs
 // message size on the SMALL topologies — rings vs the 2D-torus algorithm,
-// consistent with the large-cluster results of Figure 13.
+// consistent with the large-cluster results of Figure 13. Same harness
+// grid as fig13 (shared helper), pinned to the small cluster.
 #include <cstdio>
-#include <vector>
 
-#include "collectives/models.hpp"
-#include "core/stats.hpp"
-#include "core/table.hpp"
-#include "topo/zoo.hpp"
+#include "bench_common.hpp"
 
 using namespace hxmesh;
 
 int main() {
   std::printf("Figure 17: global allreduce, small cluster (%% of peak)\n\n");
-  const std::vector<double> sizes = {1e6, 16e6, 256e6, 1e9, 4e9, 16e9};
-  std::vector<std::string> headers = {"Topology", "algorithm"};
-  for (double s : sizes) headers.push_back(fmt(s / 1e6, 0) + "MB");
-  Table table(headers);
-  for (auto which : topo::paper_topology_list()) {
-    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
-    auto ring = collectives::measure_ring(*t);
-    std::vector<std::string> row = {topo::paper_topology_label(which),
-                                    "rings"};
-    for (double s : sizes)
-      row.push_back(
-          fmt(collectives::allreduce_fraction_of_peak(ring, s) * 100, 1));
-    table.add_row(row);
-    bool grid = which == topo::PaperTopology::kHx2Mesh ||
-                which == topo::PaperTopology::kHx4Mesh ||
-                which == topo::PaperTopology::kTorus;
-    if (grid) {
-      std::vector<std::string> row2 = {"", "torus"};
-      for (double s : sizes)
-        row2.push_back(fmt(
-            collectives::allreduce_fraction_of_peak(ring, s, true) * 100, 1));
-      table.add_row(row2);
-    }
-  }
-  table.print();
+  benchutil::run_allreduce_figure(topo::ClusterSize::kSmall,
+                                  "BENCH_fig17.json");
   return 0;
 }

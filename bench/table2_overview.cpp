@@ -1,68 +1,69 @@
 // Regenerates Table II: capital cost, global (alltoall) bandwidth as % of
 // injection, allreduce bandwidth as % of peak (injection/2), the
 // corresponding cost savings relative to the nonblocking fat tree, and the
-// network diameter — for the small (~1k) and large (~16k) clusters.
+// network diameter — for the small (~1k) and large (~16k) clusters. Both
+// bandwidth columns come from one flow-engine harness grid per cluster.
 #include <cstdio>
 #include <vector>
 
-#include "collectives/models.hpp"
+#include "bench_common.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "cost/cost_model.hpp"
-#include "flow/patterns.hpp"
-#include "topo/zoo.hpp"
 
 using namespace hxmesh;
 
 namespace {
 
-double alltoall_fraction(const topo::Topology& t, int shift_samples) {
-  // Large machines need more subflows per flow for the stratified paths to
-  // cover the parallel-cable diversity of the rail trees.
-  flow::FlowSolverConfig cfg;
-  cfg.paths_per_flow = t.num_endpoints() > 4096 ? 16 : 8;
-  flow::FlowSolver solver(t, cfg);
-  const int n = t.num_endpoints();
-  double total = 0.0;
-  int count = 0;
-  int stride = std::max(1, (n - 1) / shift_samples);
-  for (int s = 1; s < n; s += stride) {
-    auto flows = flow::shift_pattern(n, s);
-    solver.solve(flows);
-    for (const auto& f : flows) total += f.rate;
-    count += n;
-  }
-  return total / count / t.injection_bandwidth();
-}
-
-void run_cluster(topo::ClusterSize size, const char* label) {
+std::vector<engine::SweepRow> run_cluster(engine::ExperimentHarness& harness,
+                                          topo::ClusterSize size,
+                                          const char* label) {
   std::printf("== %s cluster ==\n", label);
+  const bool small = size == topo::ClusterSize::kSmall;
+
+  engine::SweepConfig sweep;
+  sweep.topologies = benchutil::paper_specs(size);
+  sweep.engines = {"flow"};
+  flow::TrafficSpec alltoall;
+  alltoall.kind = flow::PatternKind::kAlltoall;
+  alltoall.samples = small ? 32 : 8;
+  flow::TrafficSpec allreduce;
+  allreduce.kind = flow::PatternKind::kAllreduce;
+  allreduce.message_bytes = 4 * GiB;
+  sweep.patterns = {alltoall, allreduce};
+  auto rows = harness.run_grid(sweep, benchutil::paper_labels());
+
+  struct Extra {
+    double cost_musd;
+    int diameter;
+  };
+  auto extras = harness.map<Extra>(sweep.topologies.size(), [&](std::size_t i) {
+    auto t = engine::make_topology(sweep.topologies[i]);
+    return Extra{cost::bom_for(*t).total_musd(), t->diameter_formula()};
+  });
+
   Table table({"Topology", "cost [M$]", "glob BW [%inj]", "glob saving",
                "ared BW [%peak]", "ared saving", "diameter"});
-  const bool small = size == topo::ClusterSize::kSmall;
   double ft_cost = 0, ft_glob = 0, ft_ared = 0;
-  for (auto which : topo::paper_topology_list()) {
-    auto t = topo::make_paper_topology(which, size);
-    double cost = cost::bom_for(*t).total_musd();
-    double glob = alltoall_fraction(*t, small ? 32 : 8);
-    auto ring = collectives::measure_ring(*t);
-    double ared = collectives::allreduce_fraction_of_peak(ring, 4.0 * GiB);
-    if (which == topo::PaperTopology::kFatTree) {
+  for (std::size_t ti = 0; ti < sweep.topologies.size(); ++ti) {
+    double cost = extras[ti].cost_musd;
+    double glob = rows[2 * ti + 0].result.aggregate_fraction;
+    double ared = rows[2 * ti + 1].result.fraction_of_peak;
+    if (ti == 0) {  // row 0 is the nonblocking fat tree
       ft_cost = cost;
       ft_glob = glob;
       ft_ared = ared;
     }
     double glob_saving = (glob / cost) / (ft_glob / ft_cost);
     double ared_saving = (ared / cost) / (ft_ared / ft_cost);
-    table.add_row({topo::paper_topology_label(which),
-                   fmt(cost, cost < 100 ? 1 : 0), fmt(glob * 100, 1),
-                   fmt(glob_saving, 1) + "x", fmt(ared * 100, 1),
-                   fmt(ared_saving, 1) + "x",
-                   std::to_string(t->diameter_formula())});
-    std::fflush(stdout);
+    table.add_row({rows[2 * ti].label, fmt(cost, cost < 100 ? 1 : 0),
+                   fmt(glob * 100, 1), fmt(glob_saving, 1) + "x",
+                   fmt(ared * 100, 1), fmt(ared_saving, 1) + "x",
+                   std::to_string(extras[ti].diameter)});
   }
   table.print();
   std::printf("\n");
+  return rows;
 }
 
 }  // namespace
@@ -71,7 +72,12 @@ int main() {
   std::printf("Table II: cost / bandwidth / diameter overview\n");
   std::printf("(bandwidths from the flow-level solver at large messages; "
               "savings relative to the nonblocking fat tree)\n\n");
-  run_cluster(topo::ClusterSize::kSmall, "Small (~1,024 accelerators)");
-  run_cluster(topo::ClusterSize::kLarge, "Large (~16,384 accelerators)");
+  engine::ExperimentHarness harness(benchutil::threads());
+  auto rows = run_cluster(harness, topo::ClusterSize::kSmall,
+                          "Small (~1,024 accelerators)");
+  auto large = run_cluster(harness, topo::ClusterSize::kLarge,
+                           "Large (~16,384 accelerators)");
+  rows.insert(rows.end(), large.begin(), large.end());
+  engine::write_json("BENCH_table2.json", rows);
   return 0;
 }

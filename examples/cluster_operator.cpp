@@ -1,7 +1,9 @@
 // Cluster operator: a day in the life of a 16x16 Hx2Mesh cluster. Jobs
 // arrive and depart, boards fail at random, and the greedy allocator with
 // all heuristics keeps packing virtual sub-HxMeshes around the holes
-// (Section IV). Prints a utilization timeline and the final board map.
+// (Section IV). Prints a utilization timeline, the final board map, and a
+// network health check: each surviving job's ring traffic measured on the
+// flow engine of the real topology.
 //
 //   $ ./cluster_operator
 #include <cstdio>
@@ -10,6 +12,8 @@
 
 #include "alloc/allocator.hpp"
 #include "alloc/jobs.hpp"
+#include "engine/factory.hpp"
+#include "topo/hammingmesh.hpp"
 
 using namespace hxmesh;
 
@@ -69,5 +73,33 @@ int main() {
         map[by][bx] = static_cast<char>('a' + r.placement.job_id % 26);
   std::printf("\nboard map (letters = jobs, '.' = free):\n");
   for (const auto& row : map) std::printf("  %s\n", row.c_str());
+
+  // Health check: sustained ring bandwidth of every surviving job on the
+  // physical network, each job's ring solved in isolation.
+  auto t = engine::make_topology("hx2mesh:16x16");
+  auto& hx = dynamic_cast<const topo::HammingMesh&>(*t);
+  auto eng = engine::make_engine("flow", *t);
+  std::printf("\nnetwork health (each job's ring, measured alone):\n");
+  std::printf("  job  boards  min ring rate [GB/s]\n");
+  for (const auto& r : running) {
+    // Snake order over the job's boards, then over each board's 2x2 grid.
+    flow::TrafficSpec spec;
+    spec.kind = flow::PatternKind::kRing;
+    for (std::size_t ri = 0; ri < r.placement.rows.size(); ++ri)
+      for (std::size_t ci = 0; ci < r.placement.cols.size(); ++ci) {
+        int bx = r.placement.cols[ri % 2 == 0
+                                      ? ci
+                                      : r.placement.cols.size() - 1 - ci];
+        int by = r.placement.rows[ri];
+        for (int j = 0; j < 2; ++j)
+          for (int i = 0; i < 2; ++i)
+            spec.ranks.push_back(hx.rank_at(bx * 2 + i, by * 2 + j));
+      }
+    if (spec.ranks.size() < 2) continue;
+    engine::RunResult result = eng->run(spec);
+    std::printf("  %c    %6d  %20.1f\n",
+                static_cast<char>('a' + r.placement.job_id % 26),
+                r.placement.num_boards(), result.rate_summary.min / 1e9);
+  }
   return 0;
 }

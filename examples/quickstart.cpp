@@ -1,22 +1,21 @@
-// Quickstart: build a small HammingMesh, look at its structure and price,
-// then run a real allreduce over two edge-disjoint Hamiltonian rings on
-// the packet-level simulator and verify the numerical result.
+// Quickstart: build a small HammingMesh from a spec string, look at its
+// structure and price, then run a real allreduce over two edge-disjoint
+// Hamiltonian rings on the packet-level engine — completion time comes
+// from the simulator and the float payloads are verified numerically.
 //
 //   $ ./quickstart
 #include <cstdio>
-#include <numeric>
 
-#include "collectives/hamiltonian.hpp"
-#include "collectives/runtime.hpp"
 #include "cost/cost_model.hpp"
-#include "sim/minimpi.hpp"
+#include "engine/factory.hpp"
 #include "topo/hammingmesh.hpp"
 
 using namespace hxmesh;
 
 int main() {
   // A 4x4 grid of 2x2 boards = 64 accelerators, one plane modeled.
-  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  auto t = engine::make_topology("hx2mesh:4x4");
+  auto& hx = dynamic_cast<const topo::HammingMesh&>(*t);
   std::printf("topology : %s (%d accelerators, %d rail switches/plane)\n",
               hx.name().c_str(), hx.num_endpoints(), hx.num_switches());
   std::printf("diameter : %d cables\n", hx.diameter());
@@ -25,28 +24,24 @@ int main() {
   std::printf("price    : $%.0f (%lld switches, %lld DAC, %lld AoC)\n",
               bom.total_usd(), bom.switches, bom.dac_cables, bom.aoc_cables);
 
-  // Map the two edge-disjoint Hamiltonian cycles onto the accelerator grid.
-  auto rings = collectives::disjoint_hamiltonian_rings(hx.accel_y(),
-                                                       hx.accel_x());
-  std::vector<int> red, green;
-  for (auto [row, col] : rings.red) red.push_back(hx.rank_at(col, row));
-  for (auto [row, col] : rings.green) green.push_back(hx.rank_at(col, row));
+  // The packet engine maps the allreduce onto the two edge-disjoint
+  // Hamiltonian cycles of the accelerator grid (Appendix D) and verifies
+  // the reduced floats.
+  auto eng = engine::make_engine("packet", *t);
+  flow::TrafficSpec spec;
+  spec.kind = flow::PatternKind::kAllreduce;
+  spec.message_bytes = 256 * KiB;  // per rank
+  engine::RunResult result = eng->run(spec);
 
-  // Each rank contributes a vector; allreduce sums them all.
-  const int elems = 64 * 1024;  // 256 KiB per rank
-  std::vector<std::vector<float>> data(hx.num_endpoints(),
-                                       std::vector<float>(elems, 1.0f));
-  sim::MiniMpi mpi(hx);
-  picoseconds t = collectives::run_allreduce_two_rings(mpi, red, green, data);
-
-  bool correct = true;
-  for (float v : data[0]) correct &= v == static_cast<float>(64);
-  double seconds = ps_to_s(t);
-  double algo_bw = elems * sizeof(float) / seconds;
-  std::printf("allreduce: %d ranks x %zu KiB in %.2f us -> %.1f GB/s "
-              "(peak %.1f GB/s), result %s\n",
-              hx.num_endpoints(), elems * sizeof(float) / 1024, seconds * 1e6,
-              algo_bw / 1e9, hx.injection_bandwidth() / 2 / 1e9,
-              correct ? "correct" : "WRONG");
-  return correct ? 0 : 1;
+  double algo_bw = static_cast<double>(spec.message_bytes) /
+                   result.completion_s;
+  std::printf("allreduce: %d ranks x %llu KiB in %.2f us -> %.1f GB/s "
+              "(peak %.1f GB/s, %.0f%% of peak), result %s\n",
+              hx.num_endpoints(),
+              static_cast<unsigned long long>(spec.message_bytes / KiB),
+              result.completion_s * 1e6, algo_bw / 1e9,
+              hx.injection_bandwidth() / 2 / 1e9,
+              result.fraction_of_peak * 100,
+              result.numerics_ok ? "correct" : "WRONG");
+  return result.numerics_ok ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 // Train planner: estimate per-iteration times of the paper's five DNN
 // workloads on each candidate network of the small cluster, and rank the
 // networks by cost-effectiveness for a chosen model (the Figure 15
-// question asked as a procurement decision).
+// question asked as a procurement decision). Candidate evaluations fan
+// across the harness pool.
 //
 //   $ ./train_planner            # plans for GPT-3
 //   $ ./train_planner ResNet-152
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "engine/harness.hpp"
 #include "topo/zoo.hpp"
 #include "workload/dnn.hpp"
 
@@ -20,21 +22,32 @@ int main(int argc, char** argv) {
   std::string target = argc > 1 ? argv[1] : "GPT-3";
   struct Option {
     std::string name;
-    double cost_musd;
-    double iteration_ms;
-    double overhead_ms;
+    double cost_musd = 0;
+    double iteration_ms = 0;
+    double overhead_ms = 0;
+    bool found = false;
   };
-  std::vector<Option> options;
 
-  for (auto which : topo::paper_topology_list()) {
-    auto t = topo::make_paper_topology(which, topo::ClusterSize::kSmall);
+  auto list = topo::paper_topology_list();
+  engine::ExperimentHarness harness;
+  auto options = harness.map<Option>(list.size(), [&](std::size_t i) {
+    auto t = engine::make_topology(
+        engine::paper_topology_spec(list[i], topo::ClusterSize::kSmall));
+    Option o;
+    o.name = topo::paper_topology_label(list[i]);
+    o.cost_musd = cost::bom_for(*t).total_musd();
     workload::CommEnv env(*t);
     for (const auto& r : workload::eval_all_models(env))
-      if (r.model == target)
-        options.push_back({topo::paper_topology_label(which),
-                           cost::bom_for(*t).total_musd(), r.iteration_ms,
-                           r.overhead_ms()});
-  }
+      if (r.model == target) {
+        o.iteration_ms = r.iteration_ms;
+        o.overhead_ms = r.overhead_ms();
+        o.found = true;
+      }
+    return o;
+  });
+  options.erase(std::remove_if(options.begin(), options.end(),
+                               [](const Option& o) { return !o.found; }),
+                options.end());
   if (options.empty()) {
     std::printf("unknown model '%s' (try: ResNet-152, GPT-3, GPT-3 MoE, "
                 "CosmoFlow, DLRM)\n",

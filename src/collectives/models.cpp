@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "collectives/hamiltonian.hpp"
+#include "engine/flow_engine.hpp"
 #include "flow/patterns.hpp"
 #include "topo/hammingmesh.hpp"
 #include "topo/torus.hpp"
@@ -104,8 +105,7 @@ MeasuredRing measure_ring(const topo::Topology& topology,
     auto f = flow::ring_flows(ring, /*bidirectional=*/true);
     flows.insert(flows.end(), f.begin(), f.end());
   }
-  flow::FlowSolver solver(topology, config);
-  solver.solve(flows);
+  engine::FlowEngine(topology, config).solve(flows);
   double min_rate = flows.empty() ? 0.0 : flows.front().rate;
   for (const flow::Flow& f : flows) min_rate = std::min(min_rate, f.rate);
   result.rate_bps = min_rate;

@@ -1,0 +1,74 @@
+// Minimal JSON emission for machine-readable experiment output.
+//
+// The harness writes one flat object per sweep row; nothing here parses
+// JSON or supports nesting beyond what those rows need. Doubles render
+// with %.10g so a row is byte-identical regardless of which worker thread
+// produced it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hxmesh {
+
+/// Builder for one flat JSON object with insertion-ordered keys.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + escape(value) + "\"");
+  }
+  JsonObject& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonObject& add(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return raw(key, buf);
+  }
+  JsonObject& add(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+
+  const std::string& str() const { return body_; }
+  std::string wrapped() const { return "{" + body_ + "}"; }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + escape(key) + "\":" + rendered;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+}  // namespace hxmesh

@@ -1,0 +1,130 @@
+// Fixed-size worker pool for fanning experiment sweeps across threads.
+//
+// Design goals, in order: deterministic results (parallel_for hands every
+// index to exactly one worker and the caller indexes its output by job id,
+// so thread count never changes what is computed), simplicity, and graceful
+// degradation — a pool of size 1 runs everything inline on the calling
+// thread, which keeps single-core containers and debuggers pleasant.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hxmesh {
+
+class ThreadPool {
+ public:
+  /// `threads <= 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(int threads = 0) {
+    if (threads <= 0)
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    size_ = threads;
+    for (int i = 0; i < threads - 1; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (including the calling thread, which always participates
+  /// in parallel_for).
+  int size() const { return size_; }
+
+  /// Runs fn(0), ..., fn(n - 1), each exactly once, distributed over the
+  /// workers and the calling thread; returns when all calls finished. The
+  /// first exception thrown by any job is rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    Batch batch;
+    batch.n = n;
+    batch.fn = &fn;
+    batch.active.store(1);  // the caller is registered up front
+    {
+      std::lock_guard lock(mutex_);
+      batch_ = &batch;
+    }
+    cv_.notify_all();
+    run_jobs(batch);
+    finish(batch);
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch.active.load() == 0 && batch.next.load() >= n;
+    });
+    batch_ = nullptr;
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> active{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void run_jobs(Batch& batch) {
+    for (;;) {
+      std::size_t i = batch.next.fetch_add(1);
+      if (i >= batch.n) break;
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        std::lock_guard lock(batch.error_mutex);
+        if (!batch.error) batch.error = std::current_exception();
+      }
+    }
+  }
+
+  void finish(Batch& batch) {
+    if (batch.active.fetch_sub(1) == 1) {
+      // Take the pool mutex so the notify cannot slip into the window
+      // between the caller's predicate check and its sleep.
+      std::lock_guard lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return stop_ || (batch_ && batch_->next.load() < batch_->n);
+      });
+      if (stop_) return;
+      Batch* batch = batch_;
+      batch->active.fetch_add(1);  // registered before the lock is dropped,
+      lock.unlock();               // so parallel_for cannot return early
+      run_jobs(*batch);
+      finish(*batch);
+      lock.lock();
+    }
+  }
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace hxmesh

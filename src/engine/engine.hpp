@@ -1,0 +1,74 @@
+// SimEngine: one interface over the paper's two evaluation paths.
+//
+// The paper produces every result twice: a steady-state max-min flow
+// solver for bandwidth at scale (Table II, Figures 11-13/17) and a
+// packet-level simulator for timing fidelity at small scale (Appendix F).
+// A SimEngine runs one TrafficSpec on one of those backends and reports a
+// uniform RunResult, so benches, examples, and cross-validation tests pick
+// a backend by name instead of hand-rolling two code paths. New backends
+// (sharded, distributed, analytic) plug in via register_engine().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/stats.hpp"
+#include "flow/patterns.hpp"
+#include "topo/topology.hpp"
+
+namespace hxmesh::engine {
+
+/// Uniform result of running one TrafficSpec on one backend. Fields a
+/// backend cannot produce stay at their defaults (documented per field).
+struct RunResult {
+  /// Per-flow achieved rates [bytes/s] for point-to-point kinds (kShift,
+  /// kPermutation, kRing). Empty for collective kinds.
+  std::vector<flow::Flow> flows;
+  /// Summary over the per-flow rates (or the sampled ensemble's rates for
+  /// kAlltoall on the flow engine).
+  Summary rate_summary;
+  /// Mean achieved per-flow rate as a fraction of one plane's injection
+  /// bandwidth — the "% of injection" metric of Table II.
+  double aggregate_fraction = 0.0;
+  /// Wall-clock seconds to complete the spec'd bytes. Flow engine: derived
+  /// from steady-state rates (plus alpha terms for collectives); packet
+  /// engine: simulated time.
+  double completion_s = 0.0;
+  /// Per-step latency estimate [s] for collective kinds; 0 otherwise.
+  double alpha_s = 0.0;
+  /// kAllreduce: achieved bandwidth S/T as a fraction of the optimum
+  /// (injection/2) — the "% of peak" metric of Table II and Figs. 13/17.
+  double fraction_of_peak = 0.0;
+  /// Packet engine: all messages delivered and (for kAllreduce) the float
+  /// payload sums verified. Flow engine: always true.
+  bool numerics_ok = true;
+};
+
+class SimEngine {
+ public:
+  virtual ~SimEngine() = default;
+
+  /// Registry name of the backend ("flow", "packet").
+  virtual std::string name() const = 0;
+
+  /// Executes one scenario. Engines are stateful only in caches; run() may
+  /// be called repeatedly with different specs.
+  virtual RunResult run(const flow::TrafficSpec& spec) = 0;
+
+  const topo::Topology& topology() const { return topology_; }
+
+ protected:
+  explicit SimEngine(const topo::Topology& topology) : topology_(topology) {}
+
+  const topo::Topology& topology_;
+};
+
+/// Summary over a flow list's achieved rates (shared by the adapters).
+inline Summary summarize_rates(const std::vector<flow::Flow>& flows) {
+  std::vector<double> rates;
+  rates.reserve(flows.size());
+  for (const flow::Flow& f : flows) rates.push_back(f.rate);
+  return summarize(std::move(rates));
+}
+
+}  // namespace hxmesh::engine

@@ -1,0 +1,54 @@
+// Factory registry: engines by name, topologies by spec string.
+//
+// This is what makes experiment configuration data instead of code: a
+// harness sweep names its backends ("flow", "packet") and its machines
+// ("hx2mesh:16x16", "fattree:1024:taper=0.5") as strings, and new engine
+// backends plug in at runtime via register_engine() without touching the
+// harness or any bench.
+//
+// Topology spec grammar (family, then ':'-separated arguments):
+//   hxmesh:AxB:XxY[:taper=F]   a*b boards on an x*y grid (HammingMesh)
+//   hx2mesh:XxY[:taper=F]      shorthand, 2x2 boards
+//   hx4mesh:XxY[:taper=F]      shorthand, 4x4 boards
+//   hyperx:XxY                 2D HyperX (the paper's Hx1Mesh equivalent)
+//   fattree:N[:taper=F]        N endpoints, taper = up:down at the leaves
+//   dragonfly:small|large      the paper's two design points
+//   dragonfly:A:P:H:G          explicit a/p/h/g configuration
+//   torus:XxY[:board=AxB]      2D torus, PCB traces inside each board
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "topo/zoo.hpp"
+
+namespace hxmesh::engine {
+
+using EngineBuilder =
+    std::function<std::unique_ptr<SimEngine>(const topo::Topology&)>;
+
+/// Builds a registered engine ("flow", "packet", or anything added via
+/// register_engine). Throws std::invalid_argument for unknown names.
+std::unique_ptr<SimEngine> make_engine(const std::string& name,
+                                       const topo::Topology& topology);
+
+/// Registers (or replaces) a backend under `name`.
+void register_engine(const std::string& name, EngineBuilder builder);
+
+/// Names currently registered, sorted.
+std::vector<std::string> engine_names();
+
+/// Builds a topology from a spec string (grammar above). Throws
+/// std::invalid_argument on parse errors with a message naming the spec.
+std::unique_ptr<topo::Topology> make_topology(const std::string& spec);
+
+/// Spec string of one of the eight Table II machines, such that
+/// make_topology(paper_topology_spec(w, s)) is structurally identical to
+/// topo::make_paper_topology(w, s).
+std::string paper_topology_spec(topo::PaperTopology which,
+                                topo::ClusterSize size);
+
+}  // namespace hxmesh::engine

@@ -1,0 +1,82 @@
+// ExperimentHarness: declarative sweeps over topology x engine x pattern
+// x seed, fanned across a thread pool.
+//
+// Every bench used to hand-roll the same three nested loops and printf
+// plumbing; the harness replaces them with one grid description. Results
+// are deterministic by construction — each grid cell is an independent job
+// whose output lands at a precomputed index, so a 4-thread run produces
+// exactly the rows of a 1-thread run (only wall-clock changes). This is
+// what makes the lazily-filled Topology::dist_field cache's thread safety
+// load-bearing: all jobs of one topology share a single instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "engine/factory.hpp"
+
+namespace hxmesh::engine {
+
+/// One sweep: the cross product of all four axes. Patterns carry their own
+/// message sizes; put one TrafficSpec per (pattern, size) point.
+struct SweepConfig {
+  std::vector<std::string> topologies;          // factory spec strings
+  std::vector<std::string> engines = {"flow"};  // registry names
+  std::vector<flow::TrafficSpec> patterns;
+  std::vector<std::uint64_t> seeds = {1};
+};
+
+/// One grid cell's outcome.
+struct SweepRow {
+  std::string topology;      // spec string
+  std::string label;         // display label (defaults to the spec)
+  std::string engine;
+  flow::TrafficSpec pattern; // with the row's seed applied
+  std::uint64_t seed = 1;
+  RunResult result;
+};
+
+class ExperimentHarness {
+ public:
+  /// `threads <= 0` uses the hardware concurrency.
+  explicit ExperimentHarness(int threads = 0) : pool_(threads) {}
+
+  /// Runs the full grid; rows are ordered topology-major, then engine,
+  /// pattern, seed — identical for any thread count. Topologies are built
+  /// once and shared by all their jobs; every job gets a fresh engine.
+  /// `labels`, when non-empty, must parallel `topologies` and sets the
+  /// display label of each row (e.g. Table II row names).
+  std::vector<SweepRow> run_grid(const SweepConfig& config,
+                                 const std::vector<std::string>& labels = {});
+
+  /// Deterministic parallel map for experiments that are not topology
+  /// sweeps (allocator studies, custom jobs): runs fn(0..n-1) across the
+  /// pool and returns results in index order.
+  template <typename R>
+  std::vector<R> map(std::size_t n, const std::function<R(std::size_t)>& fn) {
+    std::vector<R> out(n);
+    pool_.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+};
+
+/// One flat JSON object per row (stable key order, fixed float format).
+std::string row_json(const SweepRow& row);
+
+/// Writes rows as a JSON array to `path` ("-" for stdout). The bench
+/// convention is BENCH_<name>.json next to the binary's working directory.
+void write_json(const std::string& path, const std::vector<SweepRow>& rows);
+
+/// Same, for pre-rendered JSON objects (benches with custom metrics).
+void write_json_rendered(const std::string& path,
+                         const std::vector<std::string>& objects);
+
+}  // namespace hxmesh::engine

@@ -1,6 +1,7 @@
 #include "flow/patterns.hpp"
 
 #include <numeric>
+#include <stdexcept>
 
 namespace hxmesh::flow {
 
@@ -35,6 +36,122 @@ std::vector<Flow> ring_flows(const std::vector<int>& ring,
     if (bidirectional) flows.push_back({ring[(i + 1) % n], ring[i], 0.0});
   }
   return flows;
+}
+
+std::string pattern_name(const TrafficSpec& spec) {
+  switch (spec.kind) {
+    case PatternKind::kShift:
+      return "shift:" + std::to_string(spec.shift);
+    case PatternKind::kPermutation:
+      return "perm";
+    case PatternKind::kRing:
+      return spec.bidirectional ? "ring" : "ring:uni";
+    case PatternKind::kAlltoall:
+      return "alltoall";
+    case PatternKind::kAllreduce:
+      return spec.torus_algorithm ? "allreduce:torus" : "allreduce";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad_pattern(const std::string& text) {
+  throw std::invalid_argument("parse_traffic: bad pattern '" + text + "'");
+}
+
+// Full-token numeric parses; anything else (junk, overflow) rejects the
+// pattern with the documented invalid_argument.
+int parse_int_token(const std::string& text, const std::string& token) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(token, &pos);
+  } catch (const std::logic_error&) {
+    bad_pattern(text);
+  }
+  if (pos != token.size()) bad_pattern(text);
+  return v;
+}
+
+std::uint64_t parse_u64_token(const std::string& text,
+                              const std::string& token) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(token, &pos);
+  } catch (const std::logic_error&) {
+    bad_pattern(text);
+  }
+  if (pos != token.size()) bad_pattern(text);
+  return v;
+}
+
+}  // namespace
+
+TrafficSpec parse_traffic(const std::string& text) {
+  std::string head = text;
+  std::string arg;
+  if (auto colon = text.find(':'); colon != std::string::npos) {
+    head = text.substr(0, colon);
+    arg = text.substr(colon + 1);
+  }
+  TrafficSpec spec;
+  if (head == "shift") {
+    spec.kind = PatternKind::kShift;
+    if (!arg.empty()) spec.shift = parse_int_token(text, arg);
+    return spec;
+  }
+  if (head == "perm" || head == "permutation") {
+    spec.kind = PatternKind::kPermutation;
+    if (!arg.empty()) spec.seed = parse_u64_token(text, arg);
+    return spec;
+  }
+  if (head == "ring") {
+    spec.kind = PatternKind::kRing;
+    if (arg == "uni")
+      spec.bidirectional = false;
+    else if (!arg.empty())
+      bad_pattern(text);
+    return spec;
+  }
+  if (head == "alltoall") {
+    spec.kind = PatternKind::kAlltoall;
+    if (!arg.empty()) spec.samples = parse_int_token(text, arg);
+    return spec;
+  }
+  if (head == "allreduce") {
+    spec.kind = PatternKind::kAllreduce;
+    if (arg == "torus")
+      spec.torus_algorithm = true;
+    else if (!arg.empty())
+      bad_pattern(text);
+    return spec;
+  }
+  throw std::invalid_argument("parse_traffic: unknown pattern '" + text + "'");
+}
+
+std::vector<Flow> make_flows(const TrafficSpec& spec, int n) {
+  switch (spec.kind) {
+    case PatternKind::kShift:
+      return shift_pattern(n, spec.shift);
+    case PatternKind::kPermutation: {
+      Rng rng(spec.seed);
+      return random_permutation(n, rng);
+    }
+    case PatternKind::kRing: {
+      if (!spec.ranks.empty())
+        return ring_flows(spec.ranks, spec.bidirectional);
+      std::vector<int> ring(n);
+      std::iota(ring.begin(), ring.end(), 0);
+      return ring_flows(ring, spec.bidirectional);
+    }
+    case PatternKind::kAlltoall:
+    case PatternKind::kAllreduce:
+      throw std::invalid_argument(
+          "make_flows: collective pattern has no single flow list");
+  }
+  return {};
 }
 
 }  // namespace hxmesh::flow

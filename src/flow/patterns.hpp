@@ -1,9 +1,15 @@
-// Traffic pattern generators used by the microbenchmarks (Section V-A).
+// Traffic pattern generators used by the microbenchmarks (Section V-A),
+// plus the engine-agnostic TrafficSpec descriptor: one description of a
+// communication scenario that every SimEngine backend (flow-level solver,
+// packet-level simulator, future backends) knows how to execute.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/units.hpp"
 #include "flow/flow_sim.hpp"
 
 namespace hxmesh::flow {
@@ -19,5 +25,52 @@ std::vector<Flow> random_permutation(int n, Rng& rng);
 /// both directions — the steady-state traffic of a pipelined ring
 /// reduction mapped onto that ring.
 std::vector<Flow> ring_flows(const std::vector<int>& ring, bool bidirectional);
+
+// ------------------------------------------------------------------------
+// TrafficSpec: engine-agnostic scenario descriptors.
+// ------------------------------------------------------------------------
+
+enum class PatternKind {
+  kShift,        // rank j -> (j + shift) % n, one message per rank
+  kPermutation,  // fixed-point-free random permutation drawn from `seed`
+  kRing,         // neighbor traffic of a cyclic order (paper's ring phase)
+  kAlltoall,     // balanced-shift alltoall (flow: sampled shifts ensemble)
+  kAllreduce,    // ring-based allreduce (two disjoint Hamiltonian cycles
+                 // where the topology supports them; `torus_algorithm`
+                 // selects the 2D reduce-scatter/allreduce/allgather form)
+};
+
+/// A communication scenario, independent of how it is simulated. The same
+/// spec runs on the flow-level engine (cheap, any scale) and the
+/// packet-level engine (exact, small scale) — the paper's two evaluation
+/// paths behind one description.
+struct TrafficSpec {
+  PatternKind kind = PatternKind::kShift;
+  int shift = 1;                 // kShift
+  std::uint64_t seed = 1;        // kPermutation draw (and path sampling)
+  bool bidirectional = true;     // kRing
+  std::vector<int> ranks;        // kRing: explicit cyclic order; empty means
+                                 // ranks 0..n-1 in order
+  int samples = 16;              // kAlltoall on the flow engine: shifts used
+                                 // to sample the (n-1)-round ensemble
+  bool torus_algorithm = false;  // kAllreduce: 2D-torus algorithm
+  std::uint64_t message_bytes = MiB;  // per flow (kShift/kPermutation/kRing),
+                                      // per peer (kAlltoall),
+                                      // per rank (kAllreduce)
+};
+
+/// Compact name, e.g. "shift:3", "perm", "alltoall", "allreduce:torus".
+/// Used as the pattern key of harness JSON rows.
+std::string pattern_name(const TrafficSpec& spec);
+
+/// Parses a pattern_name()-style string: "shift:<k>", "perm[:<seed>]",
+/// "ring[:uni]", "alltoall[:<samples>]", "allreduce[:torus]". Throws
+/// std::invalid_argument on unknown syntax.
+TrafficSpec parse_traffic(const std::string& text);
+
+/// Materializes the flow list of a point-to-point spec (kShift,
+/// kPermutation, kRing) for `n` endpoints. Collective kinds have no single
+/// flow list (engines expand them) — calling this for one throws.
+std::vector<Flow> make_flows(const TrafficSpec& spec, int n);
 
 }  // namespace hxmesh::flow

@@ -76,7 +76,8 @@ struct CdgBuilder {
     adj.resize(g.num_links() * num_vcs);
     for (int dst = 0; dst < topo.num_endpoints(); ++dst) {
       NodeId goal = topo.endpoint_node(dst);
-      const auto& dist = topo.dist_field(goal);
+      auto dist_ptr = topo.dist_field(goal);
+      const auto& dist = *dist_ptr;
       const auto rails = rails_min(goal, dist, dst);
       for (NodeId n = 0; n < g.num_nodes(); ++n) {
         if (n == goal || dist[n] < 0) continue;

@@ -61,7 +61,7 @@ void PacketSim::try_inject(int src) {
       continue;
     }
     NodeId dst_node = topology_.endpoint_node(m.dst);
-    const auto& dist = topology_.dist_field(dst_node);
+    const auto& dist = dist_to(dst_node);
     // Adaptive injection: among minimal next hops that are free and have
     // credit, pick the one with the most downstream buffer space.
     LinkId best = topo::kInvalidLink;
@@ -176,7 +176,7 @@ void PacketSim::try_forward(NodeId node) {
     if (buf.queue.empty()) continue;
     std::uint32_t pid = buf.queue.front();
     Packet& p = packets_[pid];
-    const auto& dist = topology_.dist_field(p.dst_node);
+    const auto& dist = dist_to(p.dst_node);
     LinkId best = topo::kInvalidLink;
     int best_vc = 0;
     std::uint64_t best_credit = 0;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -103,6 +104,15 @@ class PacketSim {
 
   void try_inject(int src);
   void try_forward(topo::NodeId node);
+  // Topology::dist_field is shared across engine threads and pays for a
+  // lock per call; this sim is single-threaded, so it pins the handed-out
+  // fields locally and routes lock-free (one map lookup per decision).
+  const std::vector<std::int32_t>& dist_to(topo::NodeId dst_node) {
+    auto it = dist_local_.find(dst_node);
+    if (it == dist_local_.end())
+      it = dist_local_.emplace(dst_node, topology_.dist_field(dst_node)).first;
+    return *it->second;
+  }
   void start_transmission(std::uint32_t packet_id, topo::LinkId link);
   int vc_after(const Packet& p, topo::LinkId link) const;
   std::uint64_t& credits(topo::LinkId link, int vc) {
@@ -113,6 +123,7 @@ class PacketSim {
   PacketSimConfig config_;
   EventQueue events_;
   PacketSimStats stats_;
+  std::unordered_map<topo::NodeId, topo::Topology::DistField> dist_local_;
 
   std::vector<Message> messages_;
   std::vector<Packet> packets_;

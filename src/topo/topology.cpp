@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace hxmesh::topo {
 
@@ -23,17 +24,29 @@ void Topology::finalize() {
     rank_of_node_[endpoints_[r]] = static_cast<std::int32_t>(r);
 }
 
-const std::vector<std::int32_t>& Topology::dist_field(NodeId dst_node) const {
+Topology::DistField Topology::dist_field(NodeId dst_node) const {
+  {
+    std::shared_lock lock(dist_mutex_);
+    auto it = dist_cache_.find(dst_node);
+    if (it != dist_cache_.end()) return it->second;
+  }
+  // BFS outside the lock: the graph is immutable after construction, and
+  // concurrent engines should not serialize on each other's misses.
+  auto field = std::make_shared<const std::vector<std::int32_t>>(
+      graph_.dist_to(dst_node));
+  std::unique_lock lock(dist_mutex_);
   auto it = dist_cache_.find(dst_node);
-  if (it != dist_cache_.end()) return it->second;
+  if (it != dist_cache_.end()) return it->second;  // raced: keep the first
   if (dist_cache_.size() >= kDistCacheCap) {
-    // FIFO eviction keeps memory bounded on large machines.
+    // FIFO eviction keeps memory bounded on large machines; shared_ptr
+    // keeps evicted fields alive for threads still reading them.
     NodeId victim = dist_cache_order_.front();
     dist_cache_order_.erase(dist_cache_order_.begin());
     dist_cache_.erase(victim);
   }
   dist_cache_order_.push_back(dst_node);
-  return dist_cache_.emplace(dst_node, graph_.dist_to(dst_node)).first->second;
+  dist_cache_.emplace(dst_node, field);
+  return field;
 }
 
 void Topology::sample_path(int src, int dst, Rng& rng,
@@ -42,7 +55,8 @@ void Topology::sample_path(int src, int dst, Rng& rng,
   NodeId cur = endpoint_node(src);
   NodeId goal = endpoint_node(dst);
   if (cur == goal) return;
-  const auto& dist = dist_field(goal);
+  DistField field = dist_field(goal);
+  const auto& dist = *field;
   assert(dist[cur] >= 0 && "destination unreachable");
   // Random minimal walk: at each node pick uniformly among links that
   // strictly decrease the BFS distance.

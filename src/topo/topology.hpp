@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -82,12 +83,16 @@ class Topology {
   /// Minimal hop distance in cables between two accelerators. Default uses
   /// the cached BFS field; topologies with closed forms override it.
   virtual int hop_distance(int src, int dst) const {
-    return dist_field(endpoint_node(dst))[endpoint_node(src)];
+    return (*dist_field(endpoint_node(dst)))[endpoint_node(src)];
   }
 
   /// Hop-distance field to `dst_node` (cached reverse BFS; bounded cache).
-  /// Used by the routing oracle of the packet-level simulator.
-  const std::vector<std::int32_t>& dist_field(NodeId dst_node) const;
+  /// Used by the routing oracle of the packet-level simulator. Thread-safe:
+  /// concurrent engines share one Topology, so the cache is guarded by a
+  /// shared_mutex and fields are handed out as shared_ptr — a field stays
+  /// alive for its users even after FIFO eviction drops it from the cache.
+  using DistField = std::shared_ptr<const std::vector<std::int32_t>>;
+  DistField dist_field(NodeId dst_node) const;
 
  protected:
   /// Registers a new endpoint node; returns its rank.
@@ -102,7 +107,8 @@ class Topology {
  private:
   std::vector<NodeId> endpoints_;
   std::vector<std::int32_t> rank_of_node_;
-  mutable std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+  mutable std::shared_mutex dist_mutex_;
+  mutable std::unordered_map<NodeId, DistField> dist_cache_;
   mutable std::vector<NodeId> dist_cache_order_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "engine/flow_engine.hpp"
 #include "flow/patterns.hpp"
 
 namespace hxmesh::workload {
@@ -43,8 +44,7 @@ MappedRing CommEnv::measure(
       ++steps;
     }
   }
-  flow::FlowSolver solver(topology_, config_);
-  solver.solve(flows);
+  engine::FlowEngine(topology_, config_).solve(flows);
   double min_rate = flows.front().rate;
   for (const flow::Flow& f : flows) min_rate = std::min(min_rate, f.rate);
   result.rate_bps = min_rate;
@@ -73,7 +73,7 @@ MappedRing CommEnv::rings_strided(int n, int stride) const {
 }
 
 double CommEnv::alltoall_rate(int n) const {
-  flow::FlowSolver solver(topology_, config_);
+  engine::FlowEngine solver(topology_, config_);
   double total = 0.0;
   int samples = 0;
   int stride = std::max(1, (n - 1) / 8);

@@ -109,6 +109,34 @@ TEST(RingOrderGrid, UnitStepsWhenSizeEven) {
   }
 }
 
+// The rank-level rings actually handed to run_allreduce_two_rings (grid
+// coordinates mapped through rank_at) must stay edge-disjoint: every
+// consecutive rank pair is an undirected accelerator-grid edge used by
+// exactly one of the two rings.
+TEST(DisjointRings, RankRingsUsedByTwoRingsAllreduceAreEdgeDisjoint) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  RingMapping m = build_ring_mapping(hx);
+  ASSERT_EQ(m.rings.size(), 2u);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& ring : m.rings) {
+    ASSERT_EQ(ring.size(), static_cast<std::size_t>(hx.num_endpoints()));
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      int a = ring[i], b = ring[(i + 1) % ring.size()];
+      auto edge = std::make_pair(std::min(a, b), std::max(a, b));
+      EXPECT_TRUE(seen.insert(edge).second)
+          << "edge " << edge.first << "-" << edge.second
+          << " used by both rings";
+    }
+  }
+  // Together the two cycles consume all four ports of every accelerator.
+  std::vector<int> degree(hx.num_endpoints(), 0);
+  for (auto [a, b] : seen) {
+    ++degree[a];
+    ++degree[b];
+  }
+  for (int d : degree) EXPECT_EQ(d, 4);
+}
+
 // ------------------------------------------------ runtime collectives ----
 std::vector<std::vector<float>> make_data(int ranks, int elems) {
   std::vector<std::vector<float>> data(ranks);

@@ -146,12 +146,59 @@ TEST(Patterns, RandomPermutationHasNoFixedPoints) {
   }
 }
 
+TEST(Patterns, RandomPermutationIsDeterministicUnderFixedSeed) {
+  for (std::uint64_t seed : {1ull, 42ull, 0x5eedull}) {
+    Rng a(seed), b(seed);
+    auto fa = random_permutation(128, a);
+    auto fb = random_permutation(128, b);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      EXPECT_EQ(fa[i].src, fb[i].src);
+      EXPECT_EQ(fa[i].dst, fb[i].dst);
+    }
+  }
+  // Different seeds almost surely give different permutations.
+  Rng a(1), b(2);
+  auto fa = random_permutation(128, a);
+  auto fb = random_permutation(128, b);
+  int differing = 0;
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    if (fa[i].dst != fb[i].dst) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
 TEST(Patterns, RingFlowsBothDirections) {
   std::vector<int> ring{0, 1, 2, 3};
   auto uni = ring_flows(ring, false);
   auto bi = ring_flows(ring, true);
   EXPECT_EQ(uni.size(), 4u);
   EXPECT_EQ(bi.size(), 8u);
+}
+
+TEST(Patterns, ParseTrafficRoundTripsNames) {
+  EXPECT_EQ(parse_traffic("shift:7").kind, PatternKind::kShift);
+  EXPECT_EQ(parse_traffic("shift:7").shift, 7);
+  EXPECT_EQ(parse_traffic("perm").kind, PatternKind::kPermutation);
+  EXPECT_EQ(parse_traffic("perm:42").seed, 42u);
+  EXPECT_TRUE(parse_traffic("ring").bidirectional);
+  EXPECT_FALSE(parse_traffic("ring:uni").bidirectional);
+  EXPECT_EQ(parse_traffic("alltoall:8").samples, 8);
+  EXPECT_FALSE(parse_traffic("allreduce").torus_algorithm);
+  EXPECT_TRUE(parse_traffic("allreduce:torus").torus_algorithm);
+  // pattern_name(parse_traffic(s)) == s for every canonical name.
+  for (const char* name : {"shift:3", "perm", "ring", "ring:uni", "alltoall",
+                           "allreduce", "allreduce:torus"})
+    EXPECT_EQ(pattern_name(parse_traffic(name)), name);
+}
+
+TEST(Patterns, ParseTrafficRejectsBadInput) {
+  EXPECT_THROW(parse_traffic("warp:1"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("shift:abc"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("shift:3x"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("shift:99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_traffic("ring:diagonal"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("allreduce:tree"), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// ExperimentHarness and its concurrency substrate: thread-pool
+// correctness, thread-count-independent sweep results (the JSON rows of a
+// 4-thread grid must equal a 1-thread grid's), and the regression test for
+// the Topology::dist_field cache, which a parallel sweep hammers from many
+// threads at once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "core/thread_pool.hpp"
+#include "engine/harness.hpp"
+#include "topo/hammingmesh.hpp"
+
+namespace hxmesh {
+namespace {
+
+// -------------------------------------------------------------- pool ------
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  bool inline_ok = true;
+  pool.parallel_for(16, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) inline_ok = false;
+  });
+  EXPECT_TRUE(inline_ok);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  // The pool must survive a throwing batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+// ------------------------------------------------- dist_field threading ---
+// Regression test: the lazily-filled BFS cache used to be a data race
+// under any parallel sweep. Hammer one Topology from many threads and
+// check every answer against a privately computed field.
+TEST(TopologyThreading, DistFieldSafeUnderConcurrentAccess) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  const int n = hx.num_endpoints();
+
+  // Ground truth, computed without the cache.
+  std::vector<std::vector<std::int32_t>> truth;
+  for (int dst = 0; dst < n; ++dst)
+    truth.push_back(hx.graph().dist_to(hx.endpoint_node(dst)));
+
+  ThreadPool pool(8);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(512, [&](std::size_t job) {
+    Rng rng(job);
+    std::vector<topo::LinkId> path;
+    for (int iter = 0; iter < 50; ++iter) {
+      int dst = static_cast<int>(rng.uniform(n));
+      auto field = hx.dist_field(hx.endpoint_node(dst));
+      // The handed-out field must stay intact even if other threads evict
+      // and refill the cache underneath.
+      for (int src = 0; src < n; ++src)
+        if ((*field)[hx.endpoint_node(src)] !=
+            truth[dst][hx.endpoint_node(src)])
+          mismatches.fetch_add(1);
+      int src = static_cast<int>(rng.uniform(n));
+      if (src != dst) {
+        hx.sample_path(src, dst, rng, path);
+        if (static_cast<int>(path.size()) != hx.hop_distance(src, dst))
+          mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ------------------------------------------------------------ harness -----
+engine::SweepConfig small_grid() {
+  engine::SweepConfig sweep;
+  sweep.topologies = {"hx2mesh:4x4", "torus:8x8", "fattree:64"};
+  sweep.engines = {"flow", "packet"};
+  flow::TrafficSpec shift;
+  shift.kind = flow::PatternKind::kShift;
+  shift.shift = 3;
+  shift.message_bytes = 256 * KiB;
+  flow::TrafficSpec perm;
+  perm.kind = flow::PatternKind::kPermutation;
+  perm.message_bytes = 256 * KiB;
+  sweep.patterns = {shift, perm};
+  sweep.seeds = {1, 2};
+  return sweep;
+}
+
+TEST(Harness, GridShapeAndOrdering) {
+  engine::ExperimentHarness harness(2);
+  auto sweep = small_grid();
+  auto rows = harness.run_grid(sweep, {"a", "b", "c"});
+  ASSERT_EQ(rows.size(), 3u * 2 * 2 * 2);
+  // Topology-major, then engine, pattern, seed.
+  EXPECT_EQ(rows[0].topology, "hx2mesh:4x4");
+  EXPECT_EQ(rows[0].label, "a");
+  EXPECT_EQ(rows[0].engine, "flow");
+  EXPECT_EQ(rows[0].seed, 1u);
+  EXPECT_EQ(rows[1].seed, 2u);
+  EXPECT_EQ(rows[4].engine, "packet");
+  EXPECT_EQ(rows[8].topology, "torus:8x8");
+  EXPECT_EQ(rows[8].label, "b");
+}
+
+// The acceptance check of this refactor: a 4-thread sweep produces exactly
+// the rows of a 1-thread sweep.
+TEST(Harness, FourThreadGridMatchesOneThreadGrid) {
+  auto sweep = small_grid();
+  auto rows1 = engine::ExperimentHarness(1).run_grid(sweep);
+  auto rows4 = engine::ExperimentHarness(4).run_grid(sweep);
+  ASSERT_EQ(rows1.size(), rows4.size());
+  for (std::size_t i = 0; i < rows1.size(); ++i)
+    EXPECT_EQ(engine::row_json(rows1[i]), engine::row_json(rows4[i])) << i;
+}
+
+TEST(Harness, MapPreservesIndexOrder) {
+  engine::ExperimentHarness harness(4);
+  auto out = harness.map<int>(100, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(Harness, RowJsonIsWellFormedish) {
+  engine::ExperimentHarness harness(1);
+  engine::SweepConfig sweep;
+  sweep.topologies = {"hx2mesh:2x2"};
+  flow::TrafficSpec spec;
+  spec.kind = flow::PatternKind::kShift;
+  sweep.patterns = {spec};
+  auto rows = harness.run_grid(sweep);
+  ASSERT_EQ(rows.size(), 1u);
+  std::string json = engine::row_json(rows[0]);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"topology\":\"hx2mesh:2x2\""), std::string::npos);
+  EXPECT_NE(json.find("\"pattern\":\"shift:1\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_bps\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hxmesh
