@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,18 @@ namespace hxmesh::benchutil {
 inline int threads() {
   if (const char* env = std::getenv("HXMESH_THREADS")) return std::atoi(env);
   return 0;
+}
+
+/// run_grid through the optional $HXMESH_CACHE_DIR cache — the benches'
+/// single entry point into the harness, so `hxmesh sweep` and a bench
+/// binary given the same grid share cache entries. CI's bench-regression
+/// job and anyone iterating on a figure locally point the env var at one
+/// shared directory so re-runs only simulate new cells.
+inline std::vector<engine::SweepRow> run_grid(
+    engine::ExperimentHarness& harness, const engine::SweepConfig& sweep,
+    const std::vector<std::string>& labels = {}) {
+  auto cache = engine::ResultCache::from_env();
+  return harness.run_grid(sweep, labels, cache.get());
 }
 
 /// Factory specs of the eight Table II machines, in row order.
@@ -71,7 +84,7 @@ inline void run_allreduce_figure(topo::ClusterSize size,
       spec.message_bytes = static_cast<std::uint64_t>(s);
       sweep.patterns.push_back(spec);
     }
-  auto rows = harness.run_grid(sweep, paper_labels());
+  auto rows = run_grid(harness, sweep, paper_labels());
 
   std::vector<std::string> headers = {"Topology", "algorithm"};
   for (double s : sizes) headers.push_back(fmt(s / 1e6, 0) + "MB");

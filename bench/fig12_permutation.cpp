@@ -25,7 +25,7 @@ int main() {
   perm.kind = flow::PatternKind::kPermutation;
   sweep.patterns = {perm};
   sweep.seeds = {31, 32, 33, 34};
-  auto rows = harness.run_grid(sweep, benchutil::paper_labels());
+  auto rows = benchutil::run_grid(harness, sweep, benchutil::paper_labels());
 
   // Network cost per topology, computed alongside.
   auto costs = harness.map<double>(sweep.topologies.size(), [&](std::size_t i) {

@@ -31,7 +31,7 @@ std::vector<engine::SweepRow> run_cluster(engine::ExperimentHarness& harness,
   allreduce.kind = flow::PatternKind::kAllreduce;
   allreduce.message_bytes = 4 * GiB;
   sweep.patterns = {alltoall, allreduce};
-  auto rows = harness.run_grid(sweep, benchutil::paper_labels());
+  auto rows = benchutil::run_grid(harness, sweep, benchutil::paper_labels());
 
   struct Extra {
     double cost_musd;

@@ -6,6 +6,8 @@
 //
 //   $ ./topology_explorer
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,7 +36,10 @@ int main() {
   sweep.patterns = {alltoall, allreduce};
 
   engine::ExperimentHarness harness;
-  auto rows = harness.run_grid(sweep);
+  // Honor the bench-wide cache convention: $HXMESH_CACHE_DIR makes design
+  // space re-exploration incremental.
+  auto cache = engine::ResultCache::from_env();
+  auto rows = harness.run_grid(sweep, {}, cache.get());
 
   struct Extra {
     std::string name;

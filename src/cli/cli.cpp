@@ -1,0 +1,297 @@
+#include "cli/cli.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/fsio.hpp"
+#include "core/parse_num.hpp"
+#include "core/json_parse.hpp"
+#include "core/stats.hpp"
+#include "engine/harness.hpp"
+
+namespace hxmesh::cli {
+
+namespace {
+
+const char* kUsage = R"(hxmesh — HammingMesh simulation front-end
+
+usage: hxmesh <subcommand> [options]
+
+subcommands:
+  run    --topo SPEC --pattern SPEC [--engine NAME] [--seed N]
+         run one grid cell; prints its JSON row
+  sweep  (--topo SPEC)+ (--pattern SPEC)+ [(--engine NAME)+] [(--seed N)+]
+         [--label L]* [--config FILE.json] [--json PATH]
+         run the full topology x engine x pattern x seed grid
+         (no --seed: each pattern's own seed= applies, default 1)
+  ls     [engines|topologies|patterns]
+         list registered engines, topology families, pattern grammar
+  cache  stats|clear [--cache-dir DIR]
+         inspect or empty the result cache
+
+common options:
+  --json PATH       write rows as a JSON array to PATH ('-' = stdout)
+  --cache-dir DIR   result cache location (default .hxmesh-cache)
+  --no-cache        bypass the result cache entirely
+  --threads N       worker threads (default: $HXMESH_THREADS, else hardware)
+  --config FILE     sweep axes from a JSON object with keys "topologies",
+                    "engines", "patterns", "seeds", "labels" (flags append)
+
+examples:
+  hxmesh run --topo hx2mesh:8x8 --pattern alltoall:msg=1MiB
+  hxmesh sweep --topo hx2mesh:8x8 --topo torus:16x16 \
+               --pattern perm:msg=256KiB --seed 1 --seed 2 --json rows.json
+)";
+
+[[noreturn]] void usage_error(const std::string& why) {
+  throw std::invalid_argument(why + " (see 'hxmesh --help')");
+}
+
+std::string need_value(const std::vector<std::string>& args, std::size_t& i) {
+  if (i + 1 >= args.size()) usage_error("flag " + args[i] + " needs a value");
+  return args[++i];
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& token) {
+  const std::optional<std::uint64_t> v = parse_u64_strict(token);
+  if (!v) usage_error(flag + ": bad number '" + token + "'");
+  return *v;
+}
+
+struct SweepOptions {
+  engine::SweepConfig config;
+  std::vector<std::string> labels;
+  std::string json_path;  // empty or "-": stdout
+  std::string cache_dir = engine::ResultCache::kDefaultDir;
+  bool no_cache = false;
+  int threads = 0;
+};
+
+// Reads one string-array member of the config file into `out` (appending).
+void read_string_array(const JsonValue& doc, const std::string& key,
+                       std::vector<std::string>* out) {
+  const JsonValue* v = doc.get(key);
+  if (!v) return;
+  if (!v->is_array()) usage_error("config: \"" + key + "\" must be an array");
+  for (const JsonValue& item : v->array) {
+    if (!item.is_string())
+      usage_error("config: \"" + key + "\" must contain strings");
+    out->push_back(item.str);
+  }
+}
+
+void merge_config_file(const std::string& path, SweepOptions* opt) {
+  const std::optional<std::string> text = read_file(path);
+  if (!text) throw std::runtime_error("cannot read config file " + path);
+  const JsonValue doc = parse_json(*text);
+  if (!doc.is_object()) usage_error("config: " + path + " is not an object");
+  read_string_array(doc, "topologies", &opt->config.topologies);
+  read_string_array(doc, "labels", &opt->labels);
+  std::vector<std::string> engines, patterns;
+  read_string_array(doc, "engines", &engines);
+  read_string_array(doc, "patterns", &patterns);
+  for (const std::string& e : engines) opt->config.engines.push_back(e);
+  for (const std::string& p : patterns)
+    opt->config.patterns.push_back(flow::parse_traffic(p));
+  if (const JsonValue* seeds = doc.get("seeds")) {
+    if (!seeds->is_array()) usage_error("config: \"seeds\" must be an array");
+    for (const JsonValue& s : seeds->array)
+      opt->config.seeds.push_back(s.as_u64());
+  }
+}
+
+void emit_rows(const std::vector<engine::SweepRow>& rows,
+               const std::string& json_path, std::ostream& out,
+               std::ostream& err) {
+  if (json_path.empty() || json_path == "-") {
+    engine::write_json(out, rows);
+    return;
+  }
+  engine::write_json(json_path, rows);
+  err << "wrote " << rows.size() << " rows to " << json_path << "\n";
+}
+
+void report_cache(const engine::ResultCache& cache, std::ostream& err) {
+  const std::size_t hits = cache.hits();
+  const std::size_t misses = cache.misses();
+  const std::size_t total = hits + misses;
+  const double pct =
+      total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / total;
+  err << "cache: " << hits << " hits, " << misses << " misses (" << fmt(pct, 1)
+      << "% hit rate) in " << cache.dir() << "\n";
+}
+
+int do_sweep(SweepOptions opt, std::ostream& out, std::ostream& err) {
+  if (opt.config.topologies.empty())
+    usage_error("sweep: need at least one --topo (or a --config file)");
+  if (opt.config.patterns.empty())
+    usage_error("sweep: need at least one --pattern (or a --config file)");
+  if (opt.config.engines.empty()) opt.config.engines = {"flow"};
+  // No --seed flags: leave the axis empty so each pattern's embedded
+  // seed= (default 1) is honored instead of being overridden.
+
+  engine::ExperimentHarness harness(opt.threads);
+  std::optional<engine::ResultCache> cache;
+  if (!opt.no_cache) cache.emplace(opt.cache_dir);
+  auto rows = harness.run_grid(opt.config, opt.labels,
+                               cache ? &*cache : nullptr);
+  emit_rows(rows, opt.json_path, out, err);
+  if (cache) report_cache(*cache, err);
+  return 0;
+}
+
+// `run` is a one-cell sweep sharing the whole cached pipeline; the only
+// difference is output shape (one object, not an array).
+int do_run(SweepOptions opt, std::ostream& out, std::ostream& err) {
+  if (opt.config.topologies.size() != 1)
+    usage_error("run: need exactly one --topo");
+  if (opt.config.patterns.size() != 1)
+    usage_error("run: need exactly one --pattern");
+  if (opt.config.engines.size() > 1 || opt.config.seeds.size() > 1)
+    usage_error("run: takes a single --engine/--seed (use sweep for grids)");
+  if (opt.config.engines.empty()) opt.config.engines = {"flow"};
+  // Empty seeds: the pattern's own seed= (default 1) applies.
+
+  engine::ExperimentHarness harness(opt.threads);
+  std::optional<engine::ResultCache> cache;
+  if (!opt.no_cache) cache.emplace(opt.cache_dir);
+  auto rows =
+      harness.run_grid(opt.config, opt.labels, cache ? &*cache : nullptr);
+  if (!opt.json_path.empty() && opt.json_path != "-") {
+    engine::write_json(opt.json_path, rows);
+    err << "wrote 1 row to " << opt.json_path << "\n";
+  } else {
+    out << engine::row_json(rows.at(0)) << "\n";
+  }
+  if (cache) report_cache(*cache, err);
+  return 0;
+}
+
+SweepOptions parse_grid_flags(const std::vector<std::string>& args,
+                              std::size_t start) {
+  SweepOptions opt;
+  // SweepConfig carries defaults ("flow", seed 1); flags and config files
+  // must replace them, not append to them. do_run/do_sweep re-default any
+  // axis that stays empty.
+  opt.config.engines.clear();
+  opt.config.seeds.clear();
+  std::string config_path;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--topo" || flag == "--topology")
+      opt.config.topologies.push_back(need_value(args, i));
+    else if (flag == "--engine")
+      opt.config.engines.push_back(need_value(args, i));
+    else if (flag == "--pattern")
+      opt.config.patterns.push_back(flow::parse_traffic(need_value(args, i)));
+    else if (flag == "--seed")
+      opt.config.seeds.push_back(parse_u64(flag, need_value(args, i)));
+    else if (flag == "--label")
+      opt.labels.push_back(need_value(args, i));
+    else if (flag == "--config")
+      config_path = need_value(args, i);
+    else if (flag == "--json")
+      opt.json_path = need_value(args, i);
+    else if (flag == "--cache-dir")
+      opt.cache_dir = need_value(args, i);
+    else if (flag == "--no-cache")
+      opt.no_cache = true;
+    else if (flag == "--threads")
+      opt.threads = static_cast<int>(parse_u64(flag, need_value(args, i)));
+    else
+      usage_error("unknown flag '" + flag + "'");
+  }
+  if (!config_path.empty()) merge_config_file(config_path, &opt);
+  return opt;
+}
+
+int do_ls(const std::vector<std::string>& args, std::size_t start,
+          std::ostream& out) {
+  std::string what = "all";
+  if (start < args.size()) what = args[start];
+  if (start + 1 < args.size()) usage_error("ls: too many arguments");
+  const bool all = what == "all";
+  if (!all && what != "engines" && what != "topologies" && what != "patterns")
+    usage_error("ls: unknown section '" + what +
+                "' (engines, topologies, patterns)");
+  if (all || what == "engines") {
+    out << "engines:\n";
+    for (const std::string& name : engine::engine_names())
+      out << "  " << name << "\n";
+  }
+  if (all || what == "topologies") {
+    out << "topologies:\n";
+    for (const std::string& line : engine::topology_grammar())
+      out << "  " << line << "\n";
+  }
+  if (all || what == "patterns") {
+    out << "patterns:\n";
+    for (const std::string& line : flow::traffic_grammar())
+      out << "  " << line << "\n";
+  }
+  return 0;
+}
+
+int do_cache(const std::vector<std::string>& args, std::size_t start,
+             std::ostream& out) {
+  std::string action;
+  std::string dir = engine::ResultCache::kDefaultDir;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    if (args[i] == "--cache-dir")
+      dir = need_value(args, i);
+    else if (action.empty() && args[i][0] != '-')
+      action = args[i];
+    else
+      usage_error("cache: unknown argument '" + args[i] + "'");
+  }
+  engine::ResultCache cache(dir);
+  if (action == "stats") {
+    const auto stats = cache.stats();
+    out << "dir: " << cache.dir() << "\n"
+        << "entries: " << stats.entries << "\n"
+        << "bytes: " << stats.bytes << "\n";
+    return 0;
+  }
+  if (action == "clear") {
+    out << "removed " << cache.clear() << " entries from " << cache.dir()
+        << "\n";
+    return 0;
+  }
+  usage_error("cache: need an action (stats or clear)");
+}
+
+int dispatch(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    out << kUsage;
+    return 0;
+  }
+  if (cmd == "run") return do_run(parse_grid_flags(args, 1), out, err);
+  if (cmd == "sweep") return do_sweep(parse_grid_flags(args, 1), out, err);
+  if (cmd == "ls") return do_ls(args, 1, out);
+  if (cmd == "cache") return do_cache(args, 1, out);
+  usage_error("unknown subcommand '" + cmd + "'");
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    return dispatch(args, out, err);
+  } catch (const std::invalid_argument& e) {
+    // Bad flags, unparsable topology/pattern specs, unknown engines.
+    err << "hxmesh: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "hxmesh: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace hxmesh::cli

@@ -1,0 +1,12 @@
+// Entry point of the `hxmesh` binary. All logic lives in cli.cpp so the
+// test suite can drive argv handling in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hxmesh::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,61 @@
+// Content hashing for the result cache's cell keys.
+//
+// FNV-1a over an explicit byte stream: fast, dependency-free, and stable
+// across platforms and runs (unlike std::hash, which the standard allows to
+// change per process). Fields are fed through update() calls with a
+// separator byte between them so ("ab", "c") and ("a", "bc") hash apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hxmesh {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  Fnv1a& update(std::string_view bytes) {
+    for (char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= kPrime;
+    }
+    return feed_separator();
+  }
+
+  Fnv1a& update(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= static_cast<unsigned char>(value >> (8 * i));
+      state_ *= kPrime;
+    }
+    return feed_separator();
+  }
+
+  Fnv1a& update(int value) {
+    return update(static_cast<std::uint64_t>(static_cast<std::int64_t>(value)));
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+  /// 16-char lowercase hex digest — the cache's on-disk key format.
+  std::string hex() const {
+    static const char* kHex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+      out[i] = kHex[(state_ >> (60 - 4 * i)) & 0xf];
+    return out;
+  }
+
+ private:
+  Fnv1a& feed_separator() {
+    state_ ^= 0x1f;
+    state_ *= kPrime;
+    return *this;
+  }
+
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace hxmesh

@@ -1,0 +1,55 @@
+// Minimal JSON reader: the inverse of core/json.hpp's emitter.
+//
+// Parses the subset the project emits — objects, arrays, strings, numbers,
+// booleans, null — into a JsonValue tree. Numbers keep their raw source
+// text alongside the double so integer fields (seeds, byte counts) round
+// trip exactly through as_u64(). Used by the result cache to reload stored
+// RunResults and by the CLI to read sweep config files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hxmesh {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  // number: exact source token
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_bool() const { return type == Type::kBool; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  /// Exact unsigned integer value; throws std::invalid_argument when the
+  /// value is not a non-negative integer token.
+  std::uint64_t as_u64() const;
+
+  /// Integer value; throws std::invalid_argument when not an integer token.
+  int as_int() const;
+};
+
+/// Parses one JSON document. Throws std::invalid_argument with a byte
+/// offset on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace hxmesh

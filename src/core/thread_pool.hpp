@@ -10,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -20,8 +21,13 @@ namespace hxmesh {
 
 class ThreadPool {
  public:
-  /// `threads <= 0` uses the hardware concurrency (at least 1).
+  /// `threads <= 0` uses $HXMESH_THREADS when set, else the hardware
+  /// concurrency (at least 1). The env override is what lets CI pin every
+  /// default pool — tests, benches, the CLI — to a fixed width.
   explicit ThreadPool(int threads = 0) {
+    if (threads <= 0)
+      if (const char* env = std::getenv("HXMESH_THREADS"))
+        threads = std::atoi(env);
     if (threads <= 0)
       threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;

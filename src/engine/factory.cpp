@@ -219,6 +219,19 @@ std::vector<std::string> engine_names() {
   return names;
 }
 
+std::vector<std::string> topology_grammar() {
+  return {
+      "hxmesh:AxB:XxY[:taper=F]   a*b boards on an x*y grid (HammingMesh)",
+      "hx2mesh:XxY[:taper=F]      shorthand, 2x2 boards",
+      "hx4mesh:XxY[:taper=F]      shorthand, 4x4 boards",
+      "hyperx:XxY                 2D HyperX (the paper's Hx1Mesh equivalent)",
+      "fattree:N[:taper=F]        N endpoints, taper = up:down at the leaves",
+      "dragonfly:small|large      the paper's two design points",
+      "dragonfly:A:P:H:G          explicit a/p/h/g configuration",
+      "torus:XxY[:board=AxB]      2D torus, PCB traces inside each board",
+  };
+}
+
 std::unique_ptr<topo::Topology> make_topology(const std::string& spec) {
   return parse_topology(spec);
 }

@@ -41,6 +41,10 @@ void register_engine(const std::string& name, EngineBuilder builder);
 /// Names currently registered, sorted.
 std::vector<std::string> engine_names();
 
+/// One human-readable grammar line per topology family (the CLI's `ls`);
+/// kept next to the parser so the help cannot drift from what parses.
+std::vector<std::string> topology_grammar();
+
 /// Builds a topology from a spec string (grammar above). Throws
 /// std::invalid_argument on parse errors with a message naming the spec.
 std::unique_ptr<topo::Topology> make_topology(const std::string& spec);

@@ -1,6 +1,7 @@
 #include "engine/harness.hpp"
 
-#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <stdexcept>
 
 #include "core/json.hpp"
@@ -8,52 +9,103 @@
 namespace hxmesh::engine {
 
 std::vector<SweepRow> ExperimentHarness::run_grid(
-    const SweepConfig& config, const std::vector<std::string>& labels) {
+    const SweepConfig& config, const std::vector<std::string>& labels,
+    ResultCache* cache) {
   if (!labels.empty() && labels.size() != config.topologies.size())
-    throw std::invalid_argument("run_grid: labels must parallel topologies");
+    throw std::invalid_argument(
+        "run_grid: labels must parallel topologies (got " +
+        std::to_string(labels.size()) + " labels for " +
+        std::to_string(config.topologies.size()) + " topologies)");
 
   const std::size_t nt = config.topologies.size();
   const std::size_t ne = config.engines.size();
   const std::size_t np = config.patterns.size();
-  const std::size_t ns = config.seeds.size();
+  // An empty seed axis means "one run per pattern, using its own seed".
+  const bool inherit_seeds = config.seeds.empty();
+  const std::size_t ns = inherit_seeds ? 1 : config.seeds.size();
+  const std::size_t total = nt * ne * np * ns;
 
-  // Build every topology once, in parallel; all of its jobs share it
-  // (dist_field caching is thread-safe, so this is sound and warm).
-  std::vector<std::unique_ptr<topo::Topology>> topologies(nt);
-  pool_.parallel_for(nt, [&](std::size_t i) {
-    topologies[i] = make_topology(config.topologies[i]);
-  });
+  // Fill every row's identity up front (cheap, serial); the simulation
+  // phase below only ever touches row.result.
+  std::vector<SweepRow> rows(total);
+  for (std::size_t ti = 0; ti < nt; ++ti)
+    for (std::size_t ei = 0; ei < ne; ++ei)
+      for (std::size_t pi = 0; pi < np; ++pi)
+        for (std::size_t si = 0; si < ns; ++si) {
+          SweepRow& row = rows[((ti * ne + ei) * np + pi) * ns + si];
+          row.topology = config.topologies[ti];
+          row.label = labels.empty() ? config.topologies[ti] : labels[ti];
+          row.engine = config.engines[ei];
+          row.pattern = config.patterns[pi];
+          row.seed = inherit_seeds ? row.pattern.seed : config.seeds[si];
+          row.pattern.seed = row.seed;
+        }
+
+  // Probe the cache for every cell in parallel. Cells never share an entry
+  // file, so the loads are independent.
+  std::vector<std::string> keys(cache ? total : 0);
+  std::vector<char> cached(total, 0);
+  if (cache) {
+    pool_.parallel_for(total, [&](std::size_t i) {
+      const SweepRow& row = rows[i];
+      keys[i] =
+          ResultCache::cell_key(row.topology, row.engine, row.pattern, row.seed);
+      if (std::optional<RunResult> hit = cache->load(keys[i])) {
+        rows[i].result = std::move(*hit);
+        cached[i] = 1;
+      }
+    });
+  }
 
   // One job per (topology, engine): the engine instance is reused across
   // its patterns and seeds so per-topology caches (e.g. the flow engine's
   // measured ring) amortize, while jobs stay independent across threads.
-  std::vector<SweepRow> rows(nt * ne * np * ns);
+  // Jobs (and even topology construction) are skipped entirely when every
+  // one of their cells came out of the cache.
+  auto job_has_miss = [&](std::size_t job) {
+    for (std::size_t c = job * np * ns; c < (job + 1) * np * ns; ++c)
+      if (!cached[c]) return true;
+    return false;
+  };
+
+  // Build every needed topology once, in parallel; all of its jobs share
+  // it (dist_field caching is thread-safe, so this is sound and warm).
+  std::vector<std::unique_ptr<topo::Topology>> topologies(nt);
+  pool_.parallel_for(nt, [&](std::size_t ti) {
+    for (std::size_t ei = 0; ei < ne; ++ei)
+      if (job_has_miss(ti * ne + ei)) {
+        topologies[ti] = make_topology(config.topologies[ti]);
+        return;
+      }
+  });
+
   pool_.parallel_for(nt * ne, [&](std::size_t job) {
+    if (!job_has_miss(job)) return;
     const std::size_t ti = job / ne;
     const std::size_t ei = job % ne;
     auto engine = make_engine(config.engines[ei], *topologies[ti]);
-    for (std::size_t pi = 0; pi < np; ++pi) {
-      for (std::size_t si = 0; si < ns; ++si) {
-        SweepRow& row = rows[((ti * ne + ei) * np + pi) * ns + si];
-        row.topology = config.topologies[ti];
-        row.label = labels.empty() ? config.topologies[ti] : labels[ti];
-        row.engine = config.engines[ei];
-        row.pattern = config.patterns[pi];
-        row.seed = config.seeds[si];
-        row.pattern.seed = row.seed;
-        row.result = engine->run(row.pattern);
-      }
+    for (std::size_t cell = job * np * ns; cell < (job + 1) * np * ns;
+         ++cell) {
+      if (cached[cell]) continue;
+      SweepRow& row = rows[cell];
+      row.result = engine->run(row.pattern);
+      if (cache) cache->store(keys[cell], row.result);
     }
   });
   return rows;
 }
 
 std::string row_json(const SweepRow& row) {
+  // The pattern key is the canonical spec minus the seed (which has its
+  // own column): "alltoall:samples=4" and "alltoall:samples=8" must stay
+  // distinct rows for any JSON consumer keying on identity fields.
+  flow::TrafficSpec named = row.pattern;
+  named.seed = flow::TrafficSpec{}.seed;
   JsonObject obj;
   obj.add("topology", row.topology)
       .add("label", row.label)
       .add("engine", row.engine)
-      .add("pattern", flow::pattern_name(row.pattern))
+      .add("pattern", flow::pattern_spec(named))
       .add("message_bytes", row.pattern.message_bytes)
       .add("seed", row.seed)
       .add("flows", static_cast<std::uint64_t>(row.result.flows.size()))
@@ -76,17 +128,31 @@ void write_json(const std::string& path, const std::vector<SweepRow>& rows) {
   write_json_rendered(path, rendered);
 }
 
+void write_json(std::ostream& out, const std::vector<SweepRow>& rows) {
+  std::vector<std::string> rendered;
+  rendered.reserve(rows.size());
+  for (const SweepRow& row : rows) rendered.push_back(row_json(row));
+  write_json_rendered(out, rendered);
+}
+
+void write_json_rendered(std::ostream& out,
+                         const std::vector<std::string>& objects) {
+  out << "[\n";
+  for (std::size_t i = 0; i < objects.size(); ++i)
+    out << objects[i] << (i + 1 < objects.size() ? ",\n" : "\n");
+  out << "]\n";
+}
+
 void write_json_rendered(const std::string& path,
                          const std::vector<std::string>& objects) {
-  std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
-  if (!f) throw std::runtime_error("write_json: cannot open " + path);
-  std::fputs("[\n", f);
-  for (std::size_t i = 0; i < objects.size(); ++i) {
-    std::fputs(objects[i].c_str(), f);
-    std::fputs(i + 1 < objects.size() ? ",\n" : "\n", f);
+  if (path == "-") {
+    write_json_rendered(std::cout, objects);
+    std::cout.flush();
+    return;
   }
-  std::fputs("]\n", f);
-  if (f != stdout) std::fclose(f);
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_json: cannot open " + path);
+  write_json_rendered(f, objects);
 }
 
 }  // namespace hxmesh::engine

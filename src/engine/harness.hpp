@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/thread_pool.hpp"
 #include "engine/factory.hpp"
+#include "engine/result_cache.hpp"
 
 namespace hxmesh::engine {
 
@@ -26,6 +28,10 @@ struct SweepConfig {
   std::vector<std::string> topologies;          // factory spec strings
   std::vector<std::string> engines = {"flow"};  // registry names
   std::vector<flow::TrafficSpec> patterns;
+  // Non-empty: a seed axis that overrides every pattern's own seed (one
+  // row per seed). Empty: no seed axis — each pattern runs once with the
+  // seed embedded in it ("perm:seed=9"), which is how the CLI honors
+  // seed= in spec strings when no --seed flag is given.
   std::vector<std::uint64_t> seeds = {1};
 };
 
@@ -48,9 +54,16 @@ class ExperimentHarness {
   /// pattern, seed — identical for any thread count. Topologies are built
   /// once and shared by all their jobs; every job gets a fresh engine.
   /// `labels`, when non-empty, must parallel `topologies` and sets the
-  /// display label of each row (e.g. Table II row names).
+  /// display label of each row (e.g. Table II row names); a size mismatch
+  /// throws std::invalid_argument naming both sizes.
+  ///
+  /// With a `cache`, every cell's key is probed first and only misses are
+  /// simulated (then stored); a topology whose cells all hit is never even
+  /// built. Rows are byte-identical to an uncached run regardless of which
+  /// cells hit — only wall-clock changes. Hit/miss counts land on `cache`.
   std::vector<SweepRow> run_grid(const SweepConfig& config,
-                                 const std::vector<std::string>& labels = {});
+                                 const std::vector<std::string>& labels = {},
+                                 ResultCache* cache = nullptr);
 
   /// Deterministic parallel map for experiments that are not topology
   /// sweeps (allocator studies, custom jobs): runs fn(0..n-1) across the
@@ -69,14 +82,22 @@ class ExperimentHarness {
 };
 
 /// One flat JSON object per row (stable key order, fixed float format).
+/// The "pattern" key is the canonical pattern spec with the seed omitted
+/// (the row's "seed" key carries it), so distinct cells never collide.
 std::string row_json(const SweepRow& row);
 
 /// Writes rows as a JSON array to `path` ("-" for stdout). The bench
 /// convention is BENCH_<name>.json next to the binary's working directory.
 void write_json(const std::string& path, const std::vector<SweepRow>& rows);
 
+/// Same array layout onto a stream (the CLI's stdout path) — one source
+/// of truth for the framing, so file and stream output stay identical.
+void write_json(std::ostream& out, const std::vector<SweepRow>& rows);
+
 /// Same, for pre-rendered JSON objects (benches with custom metrics).
 void write_json_rendered(const std::string& path,
+                         const std::vector<std::string>& objects);
+void write_json_rendered(std::ostream& out,
                          const std::vector<std::string>& objects);
 
 }  // namespace hxmesh::engine

@@ -1,0 +1,84 @@
+// Content-addressed cache of harness RunResults.
+//
+// A grid cell's identity is the FNV-1a hash of (topology spec, engine name,
+// canonical TrafficSpec string, seed, schema version); its RunResult is
+// stored as one JSON file `.hxmesh-cache/<hex>.json`. Re-running a sweep
+// only simulates cells whose key is new — a code change that alters result
+// semantics must bump kSchemaVersion, which invalidates every entry at
+// once. Entries store doubles with %.17g so a reloaded result re-renders
+// the byte-identical harness JSON row of the original run.
+//
+// Concurrency: load()/store() are called from harness worker threads, one
+// cell per call. Distinct cells never share a file and writes are atomic
+// (temp + rename), so no file-level locking is needed; the hit/miss
+// counters are atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace hxmesh::engine {
+
+class ResultCache {
+ public:
+  /// Bump when RunResult semantics or the entry format change.
+  static constexpr int kSchemaVersion = 1;
+
+  static constexpr const char* kDefaultDir = ".hxmesh-cache";
+
+  explicit ResultCache(std::string dir = kDefaultDir) : dir_(std::move(dir)) {}
+
+  /// The bench-wide convention: a cache in $HXMESH_CACHE_DIR when that
+  /// names a directory, nullptr (run uncached) otherwise. Benches and
+  /// examples share this so the convention lives in one place.
+  static std::unique_ptr<ResultCache> from_env();
+
+  const std::string& dir() const { return dir_; }
+
+  /// Hex content hash identifying one grid cell. The pattern is
+  /// canonicalized via flow::pattern_spec with `seed` applied, so two
+  /// TrafficSpecs that parse equal always share a key.
+  static std::string cell_key(const std::string& topology_spec,
+                              const std::string& engine_name,
+                              const flow::TrafficSpec& pattern,
+                              std::uint64_t seed);
+
+  /// Cached result for `key`, or nullopt on miss. A corrupt or
+  /// schema-mismatched entry counts as a miss (the caller recomputes and
+  /// store() overwrites it). Updates the session hit/miss counters.
+  std::optional<RunResult> load(const std::string& key);
+
+  /// Writes `result` under `key` (atomic; overwrites).
+  void store(const std::string& key, const RunResult& result) const;
+
+  // -- session counters (since construction) ------------------------------
+  std::size_t hits() const { return hits_.load(); }
+  std::size_t misses() const { return misses_.load(); }
+
+  // -- maintenance (the CLI's `cache` subcommand) -------------------------
+  struct Stats {
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Counts entry files and their total size on disk.
+  Stats stats() const;
+
+  /// Deletes all entries; returns how many were removed.
+  std::size_t clear() const;
+
+ private:
+  std::string entry_path(const std::string& key) const {
+    return dir_ + "/" + key + ".json";
+  }
+
+  std::string dir_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace hxmesh::engine

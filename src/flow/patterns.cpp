@@ -1,11 +1,20 @@
 #include "flow/patterns.hpp"
 
+#include <cctype>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+
+#include "core/parse_num.hpp"
 
 namespace hxmesh::flow {
 
 std::vector<Flow> shift_pattern(int n, int shift) {
+  if (n <= 0) return {};
+  // Normalize once so negative and > n shifts index endpoints in [0, n)
+  // instead of producing negative destinations.
+  shift %= n;
+  if (shift < 0) shift += n;
   std::vector<Flow> flows;
   flows.reserve(n);
   for (int j = 0; j < n; ++j) flows.push_back({j, (j + shift) % n, 0.0});
@@ -60,6 +69,12 @@ namespace {
   throw std::invalid_argument("parse_traffic: bad pattern '" + text + "'");
 }
 
+[[noreturn]] void bad_token(const std::string& text, const std::string& token,
+                            const std::string& why) {
+  throw std::invalid_argument("parse_traffic: bad pattern '" + text + "': " +
+                              why + " '" + token + "'");
+}
+
 // Full-token numeric parses; anything else (junk, overflow) rejects the
 // pattern with the documented invalid_argument.
 int parse_int_token(const std::string& text, const std::string& token) {
@@ -76,59 +91,160 @@ int parse_int_token(const std::string& text, const std::string& token) {
 
 std::uint64_t parse_u64_token(const std::string& text,
                               const std::string& token) {
+  const std::optional<std::uint64_t> v = parse_u64_strict(token);
+  if (!v) bad_pattern(text);
+  return *v;
+}
+
+// Parses "<int>[KiB|MiB|GiB|KB|MB|GB]" into bytes. Rejects negative
+// values and magnitudes that overflow under the suffix multiply.
+std::uint64_t parse_size_token(const std::string& text,
+                               const std::string& token) {
   std::size_t pos = 0;
-  std::uint64_t v = 0;
-  try {
-    v = std::stoull(token, &pos);
-  } catch (const std::logic_error&) {
-    bad_pattern(text);
+  while (pos < token.size() &&
+         std::isdigit(static_cast<unsigned char>(token[pos])))
+    ++pos;
+  const std::optional<std::uint64_t> parsed =
+      parse_u64_strict(token.substr(0, pos));
+  if (!parsed) bad_token(text, token, "bad size");
+  const std::uint64_t v = *parsed;
+  const std::string suffix = token.substr(pos);
+  std::uint64_t unit = 1;
+  if (suffix == "KiB")
+    unit = KiB;
+  else if (suffix == "MiB")
+    unit = MiB;
+  else if (suffix == "GiB")
+    unit = GiB;
+  else if (suffix == "KB")
+    unit = KB;
+  else if (suffix == "MB")
+    unit = MB;
+  else if (suffix == "GB")
+    unit = GB;
+  else if (!suffix.empty())
+    bad_token(text, token, "bad size suffix in");
+  if (v > UINT64_MAX / unit) bad_token(text, token, "size overflows in");
+  return v * unit;
+}
+
+// Renders bytes with the largest exact binary suffix ("1MiB", "262144").
+std::string format_size(std::uint64_t bytes) {
+  if (bytes != 0 && bytes % GiB == 0) return std::to_string(bytes / GiB) + "GiB";
+  if (bytes != 0 && bytes % MiB == 0) return std::to_string(bytes / MiB) + "MiB";
+  if (bytes != 0 && bytes % KiB == 0) return std::to_string(bytes / KiB) + "KiB";
+  return std::to_string(bytes);
+}
+
+std::vector<std::string> split_tokens(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
   }
-  if (pos != token.size()) bad_pattern(text);
-  return v;
+  return parts;
 }
 
 }  // namespace
 
+std::string pattern_spec(const TrafficSpec& spec) {
+  const TrafficSpec defaults;
+  std::string out = pattern_name(spec);
+  if (spec.kind == PatternKind::kRing && !spec.ranks.empty()) {
+    out += ":ranks=";
+    for (std::size_t i = 0; i < spec.ranks.size(); ++i)
+      out += (i ? "," : "") + std::to_string(spec.ranks[i]);
+  }
+  if (spec.kind == PatternKind::kAlltoall && spec.samples != defaults.samples)
+    out += ":samples=" + std::to_string(spec.samples);
+  if (spec.seed != defaults.seed) out += ":seed=" + std::to_string(spec.seed);
+  if (spec.message_bytes != defaults.message_bytes)
+    out += ":msg=" + format_size(spec.message_bytes);
+  return out;
+}
+
 TrafficSpec parse_traffic(const std::string& text) {
-  std::string head = text;
-  std::string arg;
-  if (auto colon = text.find(':'); colon != std::string::npos) {
-    head = text.substr(0, colon);
-    arg = text.substr(colon + 1);
-  }
+  auto tokens = split_tokens(text, ':');
+  const std::string head = tokens.front();
+  tokens.erase(tokens.begin());
+
   TrafficSpec spec;
-  if (head == "shift") {
+  bool positional_ok = true;  // only the first token may be positional
+  if (head == "shift")
     spec.kind = PatternKind::kShift;
-    if (!arg.empty()) spec.shift = parse_int_token(text, arg);
-    return spec;
-  }
-  if (head == "perm" || head == "permutation") {
+  else if (head == "perm" || head == "permutation")
     spec.kind = PatternKind::kPermutation;
-    if (!arg.empty()) spec.seed = parse_u64_token(text, arg);
-    return spec;
-  }
-  if (head == "ring") {
+  else if (head == "ring")
     spec.kind = PatternKind::kRing;
-    if (arg == "uni")
-      spec.bidirectional = false;
-    else if (!arg.empty())
-      bad_pattern(text);
-    return spec;
-  }
-  if (head == "alltoall") {
+  else if (head == "alltoall")
     spec.kind = PatternKind::kAlltoall;
-    if (!arg.empty()) spec.samples = parse_int_token(text, arg);
-    return spec;
-  }
-  if (head == "allreduce") {
+  else if (head == "allreduce")
     spec.kind = PatternKind::kAllreduce;
-    if (arg == "torus")
+  else
+    throw std::invalid_argument("parse_traffic: unknown pattern '" + text +
+                                "' (heads: shift, perm, ring, alltoall, "
+                                "allreduce)");
+
+  for (const std::string& token : tokens) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "msg") {
+        spec.message_bytes = parse_size_token(text, value);
+      } else if (key == "seed") {
+        spec.seed = parse_u64_token(text, value);
+      } else if (key == "samples") {
+        if (spec.kind != PatternKind::kAlltoall)
+          bad_token(text, token, "samples= only applies to alltoall, got");
+        spec.samples = parse_int_token(text, value);
+      } else if (key == "ranks") {
+        if (spec.kind != PatternKind::kRing)
+          bad_token(text, token, "ranks= only applies to ring, got");
+        spec.ranks.clear();
+        for (const std::string& r : split_tokens(value, ','))
+          spec.ranks.push_back(parse_int_token(text, r));
+      } else {
+        bad_token(text, token, "unknown option");
+      }
+      positional_ok = false;
+      continue;
+    }
+    // Positional argument or flag token.
+    if (token == "uni" && spec.kind == PatternKind::kRing) {
+      spec.bidirectional = false;
+    } else if (token == "torus" && spec.kind == PatternKind::kAllreduce) {
       spec.torus_algorithm = true;
-    else if (!arg.empty())
-      bad_pattern(text);
-    return spec;
+    } else if (positional_ok && spec.kind == PatternKind::kShift) {
+      spec.shift = parse_int_token(text, token);
+    } else if (positional_ok && spec.kind == PatternKind::kPermutation) {
+      spec.seed = parse_u64_token(text, token);
+    } else if (positional_ok && spec.kind == PatternKind::kAlltoall) {
+      spec.samples = parse_int_token(text, token);
+    } else {
+      bad_token(text, token, "unexpected token");
+    }
+    positional_ok = false;
   }
-  throw std::invalid_argument("parse_traffic: unknown pattern '" + text + "'");
+  return spec;
+}
+
+std::vector<std::string> traffic_grammar() {
+  return {
+      "shift[:<k>]            rank j -> (j + k) % n (default k=1)",
+      "perm[:<seed>]          fixed-point-free random permutation",
+      "ring[:uni][:ranks=a,b] cyclic neighbor traffic (bidirectional "
+      "unless :uni)",
+      "alltoall[:<samples>]   balanced-shift alltoall ensemble",
+      "allreduce[:torus]      ring allreduce (or the 2D-torus algorithm)",
+      "options (any head):    msg=<bytes|KiB|MiB|GiB|KB|MB|GB>, seed=<n>",
+  };
 }
 
 std::vector<Flow> make_flows(const TrafficSpec& spec, int n) {
@@ -140,8 +256,14 @@ std::vector<Flow> make_flows(const TrafficSpec& spec, int n) {
       return random_permutation(n, rng);
     }
     case PatternKind::kRing: {
-      if (!spec.ranks.empty())
+      if (!spec.ranks.empty()) {
+        for (int r : spec.ranks)
+          if (r < 0 || r >= n)
+            throw std::invalid_argument(
+                "make_flows: ring rank " + std::to_string(r) +
+                " out of range for " + std::to_string(n) + " endpoints");
         return ring_flows(spec.ranks, spec.bidirectional);
+      }
       std::vector<int> ring(n);
       std::iota(ring.begin(), ring.end(), 0);
       return ring_flows(ring, spec.bidirectional);

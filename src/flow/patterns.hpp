@@ -63,10 +63,27 @@ struct TrafficSpec {
 /// Used as the pattern key of harness JSON rows.
 std::string pattern_name(const TrafficSpec& spec);
 
-/// Parses a pattern_name()-style string: "shift:<k>", "perm[:<seed>]",
-/// "ring[:uni]", "alltoall[:<samples>]", "allreduce[:torus]". Throws
-/// std::invalid_argument on unknown syntax.
+/// Full canonical spec string: pattern_name() plus every field that
+/// deviates from the TrafficSpec defaults, in a fixed order — e.g.
+/// "alltoall:samples=8:msg=4MiB", "ring:uni:ranks=0,2,1". The round-trip
+/// contract is parse_traffic(pattern_spec(s)) == s (field for field) and
+/// pattern_spec(parse_traffic(t)) is canonical for every accepted `t`.
+/// This string is what the result cache hashes as the pattern axis.
+std::string pattern_spec(const TrafficSpec& spec);
+
+/// Parses a pattern spec string: a head ("shift[:<k>]", "perm[:<seed>]",
+/// "ring[:uni]", "alltoall[:<samples>]", "allreduce[:torus]") followed by
+/// ':'-separated options:
+///   msg=<size>      message_bytes; <size> is an integer with an optional
+///                   KiB/MiB/GiB/KB/MB/GB suffix ("alltoall:msg=1MiB")
+///   seed=<n>        any kind (permutation draw / path sampling)
+///   samples=<n>     alltoall only
+///   ranks=<a,b,..>  ring only: explicit cyclic order
+/// Throws std::invalid_argument on unknown syntax, naming the bad token.
 TrafficSpec parse_traffic(const std::string& text);
+
+/// One human-readable grammar line per pattern head (the CLI's `ls`).
+std::vector<std::string> traffic_grammar();
 
 /// Materializes the flow list of a point-to-point spec (kShift,
 /// kPermutation, kRing) for `n` endpoints. Collective kinds have no single

@@ -1,0 +1,222 @@
+// hxmesh CLI: exit codes and messages for bad input (the contract CI
+// scripts rely on), subcommand output shapes, and the cached sweep path
+// end to end — including the 100%-hit-rate report on a re-run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "core/fsio.hpp"
+
+namespace hxmesh {
+namespace {
+
+struct CliOutcome {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliOutcome run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliOutcome outcome;
+  outcome.code = cli::run_cli(args, out, err);
+  outcome.out = out.str();
+  outcome.err = err.str();
+  return outcome;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  auto r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("subcommands:"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails) {
+  auto r = run({"explode"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown subcommand 'explode'"), std::string::npos);
+}
+
+TEST(Cli, BadTopologySpecFailsUsefully) {
+  auto r = run({"run", "--topo", "klein-bottle:4x4", "--pattern", "perm",
+                "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("klein-bottle"), std::string::npos);
+  EXPECT_NE(r.err.find("unknown family"), std::string::npos);
+}
+
+TEST(Cli, MalformedPatternFailsUsefully) {
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                "alltoall:msg=1MiBB", "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad size suffix"), std::string::npos);
+}
+
+TEST(Cli, UnknownEngineFailsUsefully) {
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern", "perm",
+                "--engine", "quantum", "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown engine 'quantum'"), std::string::npos);
+  EXPECT_NE(r.err.find("flow"), std::string::npos);  // lists what exists
+}
+
+TEST(Cli, MissingFlagValueFails) {
+  auto r = run({"run", "--topo"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--topo needs a value"), std::string::npos);
+}
+
+TEST(Cli, NegativeSeedFails) {
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern", "perm",
+                "--seed", "-1", "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad number '-1'"), std::string::npos);
+}
+
+TEST(Cli, LsListsEnginesTopologiesPatterns) {
+  auto r = run({"ls"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("engines:"), std::string::npos);
+  EXPECT_NE(r.out.find("flow"), std::string::npos);
+  EXPECT_NE(r.out.find("packet"), std::string::npos);
+  EXPECT_NE(r.out.find("hx2mesh:XxY"), std::string::npos);
+  EXPECT_NE(r.out.find("alltoall"), std::string::npos);
+
+  auto engines_only = run({"ls", "engines"});
+  EXPECT_EQ(engines_only.code, 0);
+  EXPECT_EQ(engines_only.out.find("topologies:"), std::string::npos);
+
+  EXPECT_EQ(run({"ls", "quarks"}).code, 2);
+}
+
+TEST(Cli, RunEmitsOneJsonRow) {
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                "shift:1:msg=64KiB", "--threads", "1", "--no-cache"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"topology\":\"hx2mesh:2x2\""), std::string::npos);
+  // The pattern key is the full canonical spec (minus the seed).
+  EXPECT_NE(r.out.find("\"pattern\":\"shift:1:msg=64KiB\""), std::string::npos);
+  EXPECT_EQ(r.err.find("cache:"), std::string::npos);  // --no-cache is silent
+}
+
+TEST(Cli, PatternEmbeddedSeedIsHonored) {
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                "perm:seed=9:msg=64KiB", "--threads", "1", "--no-cache"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"seed\":9"), std::string::npos);
+  // An explicit --seed flag still overrides the spec string.
+  auto overridden = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                         "perm:seed=9:msg=64KiB", "--seed", "3", "--threads",
+                         "1", "--no-cache"});
+  ASSERT_EQ(overridden.code, 0) << overridden.err;
+  EXPECT_NE(overridden.out.find("\"seed\":3"), std::string::npos);
+}
+
+TEST(Cli, NegativeShiftRunsInRange) {
+  // shift:-1 is a legal scenario (the reverse neighbor shift); it must
+  // simulate, not index out of bounds.
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                "shift:-1:msg=64KiB", "--threads", "1", "--no-cache"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"numerics_ok\":true"), std::string::npos);
+}
+
+TEST(Cli, OutOfRangeRingRanksFail) {
+  auto r = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                "ring:ranks=0,999", "--threads", "1", "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("out of range"), std::string::npos);
+}
+
+TEST(Cli, SweepTwiceHitsCacheWithIdenticalRows) {
+  const std::string dir = fresh_dir("cli_sweep_cache");
+  const std::vector<std::string> sweep = {
+      "sweep",       "--topo",    "hx2mesh:2x2", "--topo",   "torus:4x4",
+      "--pattern",   "perm:msg=64KiB", "--pattern", "shift:2:msg=64KiB",
+      "--seed",      "1",         "--seed",      "2",        "--threads",
+      "2",           "--cache-dir", dir};
+  auto cold = run(sweep);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("8 misses"), std::string::npos);
+  EXPECT_NE(cold.err.find("0.0% hit rate"), std::string::npos);
+
+  auto warm = run(sweep);
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_NE(warm.err.find("8 hits, 0 misses (100.0% hit rate)"),
+            std::string::npos);
+  // Byte-identical JSON rows, cold vs warm.
+  EXPECT_EQ(warm.out, cold.out);
+}
+
+TEST(Cli, SweepConfigFileDrivesTheGrid) {
+  const std::string dir = fresh_dir("cli_config");
+  ensure_dir(dir);
+  const std::string config = dir + "/grid.json";
+  write_file_atomic(config, R"({
+    "topologies": ["hx2mesh:2x2"],
+    "engines": ["flow"],
+    "patterns": ["shift:1:msg=64KiB", "perm:msg=64KiB"],
+    "seeds": [1, 2],
+    "labels": ["tiny"]
+  })");
+  auto r = run({"sweep", "--config", config, "--no-cache", "--threads", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // 1 topo x 1 engine x 2 patterns x 2 seeds, labeled.
+  EXPECT_EQ(static_cast<int>(std::count(r.out.begin(), r.out.end(), '{')), 4);
+  EXPECT_NE(r.out.find("\"label\":\"tiny\""), std::string::npos);
+
+  write_file_atomic(config, "{\"patterns\": [\"warp:1\"]}");
+  EXPECT_EQ(run({"sweep", "--config", config}).code, 2);
+  EXPECT_EQ(run({"sweep", "--config", dir + "/nope.json"}).code, 1);
+}
+
+TEST(Cli, SweepWithoutAxesFails) {
+  auto r = run({"sweep", "--pattern", "perm"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--topo"), std::string::npos);
+}
+
+TEST(Cli, CacheStatsAndClear) {
+  const std::string dir = fresh_dir("cli_cache_cmd");
+  auto empty = run({"cache", "stats", "--cache-dir", dir});
+  EXPECT_EQ(empty.code, 0);
+  EXPECT_NE(empty.out.find("entries: 0"), std::string::npos);
+
+  ASSERT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                 "shift:1:msg=64KiB", "--threads", "1", "--cache-dir", dir})
+                .code,
+            0);
+  auto one = run({"cache", "stats", "--cache-dir", dir});
+  EXPECT_NE(one.out.find("entries: 1"), std::string::npos);
+
+  auto cleared = run({"cache", "clear", "--cache-dir", dir});
+  EXPECT_EQ(cleared.code, 0);
+  EXPECT_NE(cleared.out.find("removed 1"), std::string::npos);
+  EXPECT_NE(run({"cache", "stats", "--cache-dir", dir}).out.find("entries: 0"),
+            std::string::npos);
+
+  EXPECT_EQ(run({"cache"}).code, 2);
+  EXPECT_EQ(run({"cache", "defrag"}).code, 2);
+}
+
+}  // namespace
+}  // namespace hxmesh

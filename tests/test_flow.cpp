@@ -126,6 +126,29 @@ TEST(FlowSolver, HxMeshNeighborRingFullRate) {
 }
 
 // --------------------------------------------------------- patterns ------
+TEST(Patterns, ShiftPatternNormalizesNegativeAndLargeShifts) {
+  EXPECT_TRUE(shift_pattern(0, 3).empty());  // no endpoints, no flows
+  for (int shift : {-1, -5, -8, 7, 8, 23}) {
+    auto flows = shift_pattern(8, shift);
+    ASSERT_EQ(flows.size(), 8u) << shift;
+    for (const Flow& f : flows) {
+      EXPECT_GE(f.dst, 0) << shift;
+      EXPECT_LT(f.dst, 8) << shift;
+    }
+    // shift:-1 is the reverse neighbor shift.
+    if (shift == -1) EXPECT_EQ(flows[0].dst, 7);
+  }
+}
+
+TEST(Patterns, MakeFlowsRejectsOutOfRangeRingRanks) {
+  TrafficSpec spec = parse_traffic("ring:ranks=0,2,1");
+  EXPECT_EQ(make_flows(spec, 3).size(), 6u);  // valid: bidirectional ring
+  EXPECT_THROW(make_flows(parse_traffic("ring:ranks=0,999"), 16),
+               std::invalid_argument);
+  EXPECT_THROW(make_flows(parse_traffic("ring:ranks=0,-1"), 16),
+               std::invalid_argument);
+}
+
 TEST(Patterns, ShiftPatternIsPermutation) {
   auto flows = shift_pattern(10, 3);
   std::vector<int> seen(10, 0);
@@ -199,6 +222,88 @@ TEST(Patterns, ParseTrafficRejectsBadInput) {
                std::invalid_argument);
   EXPECT_THROW(parse_traffic("ring:diagonal"), std::invalid_argument);
   EXPECT_THROW(parse_traffic("allreduce:tree"), std::invalid_argument);
+}
+
+TEST(Patterns, ParseTrafficOptions) {
+  EXPECT_EQ(parse_traffic("alltoall:msg=1MiB").message_bytes, MiB);
+  EXPECT_EQ(parse_traffic("alltoall:msg=4GiB").message_bytes, 4 * GiB);
+  EXPECT_EQ(parse_traffic("shift:3:msg=256KiB").message_bytes, 256 * KiB);
+  EXPECT_EQ(parse_traffic("shift:3:msg=256KiB").shift, 3);
+  EXPECT_EQ(parse_traffic("perm:msg=16MB").message_bytes, 16'000'000u);
+  EXPECT_EQ(parse_traffic("perm:msg=12345").message_bytes, 12345u);
+  EXPECT_EQ(parse_traffic("perm:seed=9").seed, 9u);
+  EXPECT_EQ(parse_traffic("alltoall:samples=4:seed=2").samples, 4);
+  EXPECT_EQ(parse_traffic("alltoall:samples=4:seed=2").seed, 2u);
+  EXPECT_EQ(parse_traffic("ring:uni:ranks=0,3,1").ranks,
+            (std::vector<int>{0, 3, 1}));
+
+  EXPECT_THROW(parse_traffic("alltoall:msg=1Mib"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("alltoall:msg="), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("alltoall:msg=-5"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("alltoall:msg=99999999999GiB"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_traffic("perm:seed=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("alltoall:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("shift:samples=4"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("perm:ranks=0,1"), std::invalid_argument);
+  EXPECT_THROW(parse_traffic("shift:1:2"), std::invalid_argument);
+}
+
+TEST(Patterns, PatternSpecRoundTrips) {
+  // parse_traffic(pattern_spec(s)) must reproduce s field for field, for
+  // specs covering every kind and every serialized option.
+  std::vector<TrafficSpec> specs;
+  TrafficSpec s;
+  s.kind = PatternKind::kShift;
+  s.shift = 5;
+  s.message_bytes = 256 * KiB;
+  specs.push_back(s);
+  s = {};
+  s.kind = PatternKind::kPermutation;
+  s.seed = 77;
+  specs.push_back(s);
+  s = {};
+  s.kind = PatternKind::kRing;
+  s.bidirectional = false;
+  s.ranks = {0, 2, 1, 3};
+  specs.push_back(s);
+  s = {};
+  s.kind = PatternKind::kAlltoall;
+  s.samples = 4;
+  s.message_bytes = 4 * GiB;
+  specs.push_back(s);
+  s = {};
+  s.kind = PatternKind::kAllreduce;
+  s.torus_algorithm = true;
+  s.message_bytes = 12345;  // no exact binary suffix
+  specs.push_back(s);
+  specs.push_back(TrafficSpec{});  // all defaults
+
+  for (const TrafficSpec& spec : specs) {
+    const std::string text = pattern_spec(spec);
+    const TrafficSpec back = parse_traffic(text);
+    EXPECT_EQ(back.kind, spec.kind) << text;
+    EXPECT_EQ(back.shift, spec.shift) << text;
+    EXPECT_EQ(back.seed, spec.seed) << text;
+    EXPECT_EQ(back.bidirectional, spec.bidirectional) << text;
+    EXPECT_EQ(back.ranks, spec.ranks) << text;
+    EXPECT_EQ(back.samples, spec.samples) << text;
+    EXPECT_EQ(back.torus_algorithm, spec.torus_algorithm) << text;
+    EXPECT_EQ(back.message_bytes, spec.message_bytes) << text;
+    // And the serialization is canonical: one more trip is a fixed point.
+    EXPECT_EQ(pattern_spec(back), text);
+  }
+}
+
+TEST(Patterns, PatternSpecIsCanonicalAcrossInputSpellings) {
+  // Different accepted spellings of the same scenario canonicalize to one
+  // string — the property the result cache's key depends on.
+  EXPECT_EQ(pattern_spec(parse_traffic("perm:42")),
+            pattern_spec(parse_traffic("perm:seed=42")));
+  EXPECT_EQ(pattern_spec(parse_traffic("alltoall:msg=1048576")),
+            pattern_spec(parse_traffic("alltoall")));
+  EXPECT_EQ(pattern_spec(parse_traffic("alltoall:8")),
+            pattern_spec(parse_traffic("alltoall:samples=8")));
 }
 
 }  // namespace

@@ -128,6 +128,34 @@ TEST(Harness, GridShapeAndOrdering) {
   EXPECT_EQ(rows[8].label, "b");
 }
 
+TEST(Harness, EmptySeedAxisInheritsPatternSeeds) {
+  engine::ExperimentHarness harness(1);
+  engine::SweepConfig sweep;
+  sweep.topologies = {"hx2mesh:2x2"};
+  sweep.seeds.clear();  // no axis: each pattern's own seed applies
+  flow::TrafficSpec a = flow::parse_traffic("perm:seed=5:msg=64KiB");
+  flow::TrafficSpec b = flow::parse_traffic("perm:seed=6:msg=64KiB");
+  sweep.patterns = {a, b};
+  auto rows = harness.run_grid(sweep);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].seed, 5u);
+  EXPECT_EQ(rows[1].seed, 6u);
+  EXPECT_NE(engine::row_json(rows[0]).find("\"seed\":5"), std::string::npos);
+}
+
+TEST(Harness, MismatchedLabelsThrowWithBothSizes) {
+  engine::ExperimentHarness harness(1);
+  auto sweep = small_grid();  // 3 topologies
+  try {
+    harness.run_grid(sweep, {"only", "two"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 labels"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 topologies"), std::string::npos) << what;
+  }
+}
+
 // The acceptance check of this refactor: a 4-thread sweep produces exactly
 // the rows of a 1-thread sweep.
 TEST(Harness, FourThreadGridMatchesOneThreadGrid) {

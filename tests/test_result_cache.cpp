@@ -1,0 +1,207 @@
+// ResultCache: cell-key properties (every axis changes the key, equal
+// specs share one), hit/miss round trips that reproduce byte-identical
+// harness rows, corrupt-entry fallback, and the cached run_grid path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/fsio.hpp"
+#include "engine/harness.hpp"
+#include "engine/result_cache.hpp"
+
+namespace hxmesh {
+namespace {
+
+using engine::ResultCache;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+flow::TrafficSpec alltoall_spec() {
+  flow::TrafficSpec spec;
+  spec.kind = flow::PatternKind::kAlltoall;
+  spec.message_bytes = 256 * KiB;
+  return spec;
+}
+
+TEST(ResultCacheKey, ChangesOnEveryAxis) {
+  const flow::TrafficSpec pattern = alltoall_spec();
+  const std::string base =
+      ResultCache::cell_key("hx2mesh:4x4", "flow", pattern, 1);
+  EXPECT_EQ(base.size(), 16u);
+
+  EXPECT_NE(ResultCache::cell_key("hx2mesh:8x8", "flow", pattern, 1), base);
+  EXPECT_NE(ResultCache::cell_key("hx2mesh:4x4", "packet", pattern, 1), base);
+  EXPECT_NE(ResultCache::cell_key("hx2mesh:4x4", "flow", pattern, 2), base);
+
+  flow::TrafficSpec other = pattern;
+  other.message_bytes = 512 * KiB;
+  EXPECT_NE(ResultCache::cell_key("hx2mesh:4x4", "flow", other, 1), base);
+  other = pattern;
+  other.samples = 4;
+  EXPECT_NE(ResultCache::cell_key("hx2mesh:4x4", "flow", other, 1), base);
+  other = pattern;
+  other.kind = flow::PatternKind::kAllreduce;
+  EXPECT_NE(ResultCache::cell_key("hx2mesh:4x4", "flow", other, 1), base);
+}
+
+TEST(ResultCacheKey, EqualScenariosShareAKey) {
+  // The pattern's own seed is irrelevant: the row seed is applied first,
+  // exactly as run_grid does.
+  flow::TrafficSpec a = alltoall_spec();
+  flow::TrafficSpec b = alltoall_spec();
+  a.seed = 123;
+  b.seed = 456;
+  EXPECT_EQ(ResultCache::cell_key("hx2mesh:4x4", "flow", a, 7),
+            ResultCache::cell_key("hx2mesh:4x4", "flow", b, 7));
+  // Spelled differently, parsed equal.
+  EXPECT_EQ(ResultCache::cell_key("hx2mesh:4x4", "flow",
+                                  flow::parse_traffic("alltoall:samples=16"),
+                                  1),
+            ResultCache::cell_key("hx2mesh:4x4", "flow",
+                                  flow::parse_traffic("alltoall"), 1));
+}
+
+TEST(ResultCache, MissThenHitRoundTripsExactRows) {
+  const std::string dir = fresh_dir("cache_roundtrip");
+  engine::SweepConfig sweep;
+  sweep.topologies = {"hx2mesh:4x4", "torus:8x8"};
+  sweep.engines = {"flow", "packet"};
+  sweep.patterns = {flow::parse_traffic("perm:msg=256KiB"),
+                    flow::parse_traffic("shift:3:msg=64KiB")};
+  sweep.seeds = {1, 2};
+
+  engine::ExperimentHarness harness(2);
+  auto uncached = harness.run_grid(sweep);
+
+  ResultCache cold(dir);
+  auto first = harness.run_grid(sweep, {}, &cold);
+  EXPECT_EQ(cold.hits(), 0u);
+  EXPECT_EQ(cold.misses(), first.size());
+
+  ResultCache warm(dir);
+  auto second = harness.run_grid(sweep, {}, &warm);
+  EXPECT_EQ(warm.hits(), second.size());
+  EXPECT_EQ(warm.misses(), 0u);
+
+  ASSERT_EQ(first.size(), uncached.size());
+  ASSERT_EQ(second.size(), uncached.size());
+  for (std::size_t i = 0; i < uncached.size(); ++i) {
+    // Byte-identical rows whether computed, stored, or reloaded.
+    EXPECT_EQ(engine::row_json(first[i]), engine::row_json(uncached[i])) << i;
+    EXPECT_EQ(engine::row_json(second[i]), engine::row_json(uncached[i])) << i;
+    // The reloaded result also reproduces non-JSON fields like per-flow
+    // rates (fig12 pools these).
+    ASSERT_EQ(second[i].result.flows.size(), uncached[i].result.flows.size());
+    for (std::size_t f = 0; f < uncached[i].result.flows.size(); ++f) {
+      EXPECT_EQ(second[i].result.flows[f].src, uncached[i].result.flows[f].src);
+      EXPECT_EQ(second[i].result.flows[f].dst, uncached[i].result.flows[f].dst);
+      EXPECT_EQ(second[i].result.flows[f].rate,
+                uncached[i].result.flows[f].rate);
+    }
+  }
+}
+
+TEST(ResultCache, CorruptEntryFallsBackToRecompute) {
+  const std::string dir = fresh_dir("cache_corrupt");
+  engine::SweepConfig sweep;
+  sweep.topologies = {"hx2mesh:2x2"};
+  sweep.patterns = {flow::parse_traffic("shift:1:msg=64KiB")};
+
+  engine::ExperimentHarness harness(1);
+  ResultCache cold(dir);
+  auto rows = harness.run_grid(sweep, {}, &cold);
+  ASSERT_EQ(rows.size(), 1u);
+
+  // Garbage every entry on disk — alternating between a truncated
+  // document (invalid_argument from the parser) and a syntactically valid
+  // one whose integer overflows as_int (out_of_range); both must read as
+  // misses.
+  auto entries = list_files(dir);
+  ASSERT_FALSE(entries.empty());
+  bool truncate = true;
+  for (const std::string& path : entries) {
+    write_file_atomic(path, truncate ? "{\"schema\":1,\"flo"
+                                     : "{\"schema\":99999999999999999999}");
+    truncate = !truncate;
+  }
+
+  ResultCache corrupted(dir);
+  auto recomputed = harness.run_grid(sweep, {}, &corrupted);
+  EXPECT_EQ(corrupted.hits(), 0u);  // corrupt counts as a miss
+  EXPECT_EQ(corrupted.misses(), 1u);
+  EXPECT_EQ(engine::row_json(recomputed[0]), engine::row_json(rows[0]));
+
+  // And the recompute healed the entry in place.
+  ResultCache healed(dir);
+  auto again = harness.run_grid(sweep, {}, &healed);
+  EXPECT_EQ(healed.hits(), 1u);
+  EXPECT_EQ(engine::row_json(again[0]), engine::row_json(rows[0]));
+}
+
+TEST(ResultCache, SchemaMismatchIsAMiss) {
+  const std::string dir = fresh_dir("cache_schema");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  result.completion_s = 1.5;
+  const std::string key = ResultCache::cell_key(
+      "hx2mesh:2x2", "flow", flow::parse_traffic("shift:1"), 1);
+  cache.store(key, result);
+  ASSERT_TRUE(cache.load(key).has_value());
+
+  // Rewrite the entry claiming a different schema version.
+  const std::string path = dir + "/" + key + ".json";
+  auto text = read_file(path);
+  ASSERT_TRUE(text.has_value());
+  const std::string marker = "\"schema\":1";
+  const auto pos = text->find(marker);
+  ASSERT_NE(pos, std::string::npos);
+  text->replace(pos, marker.size(), "\"schema\":999");
+  write_file_atomic(path, *text);
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(ResultCache, NonNumericFlowRateIsAMiss) {
+  const std::string dir = fresh_dir("cache_bad_rate");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  result.flows = {{0, 1, 2.5}};
+  result.rate_summary = engine::summarize_rates(result.flows);
+  const std::string key = ResultCache::cell_key(
+      "hx2mesh:2x2", "flow", flow::parse_traffic("shift:1"), 1);
+  cache.store(key, result);
+  ASSERT_TRUE(cache.load(key).has_value());
+
+  const std::string path = dir + "/" + key + ".json";
+  auto text = read_file(path);
+  ASSERT_TRUE(text.has_value());
+  const std::string marker = "[0,1,2.5]";
+  const auto pos = text->find(marker);
+  ASSERT_NE(pos, std::string::npos);
+  text->replace(pos, marker.size(), "[0,1,null]");
+  write_file_atomic(path, *text);
+  EXPECT_FALSE(cache.load(key).has_value());  // not a silent 0.0 rate
+}
+
+TEST(ResultCache, StatsAndClear) {
+  const std::string dir = fresh_dir("cache_stats");
+  ResultCache cache(dir);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.clear(), 0u);  // clearing a missing dir is fine
+
+  engine::RunResult result;
+  cache.store("aaaa", result);
+  cache.store("bbbb", result);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_EQ(cache.clear(), 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace hxmesh

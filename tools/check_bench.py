@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare harness BENCH JSON rows against a committed baseline.
+
+Rows are matched by their identity fields (topology, engine, pattern,
+message_bytes, seed); every numeric field is compared with a relative
+tolerance. Exit status: 0 = within tolerance, 1 = drift / missing rows,
+2 = usage or unreadable input. CI's bench-regression job runs this over
+`hxmesh sweep` output to gate merges on the paper-trend numbers.
+
+usage: check_bench.py BASELINE.json CURRENT.json [--rtol 1e-4]
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_FIELDS = ("topology", "engine", "pattern", "message_bytes", "seed")
+
+# Fields whose drift fails the check. Deliberately a fixed list: adding a
+# new emitted field must not silently become load-bearing for CI until it
+# is added here (and baselines are regenerated).
+COMPARED_FIELDS = (
+    "flows",
+    "mean_bps",
+    "min_bps",
+    "p50_bps",
+    "max_bps",
+    "aggregate_fraction",
+    "completion_s",
+    "alpha_s",
+    "fraction_of_peak",
+    "numerics_ok",
+)
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(rows, list):
+        print(f"check_bench: {path} is not a JSON array", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def identity(row):
+    return tuple(row.get(k) for k in IDENTITY_FIELDS)
+
+
+def index_rows(rows, path):
+    indexed = {}
+    for row in rows:
+        key = identity(row)
+        if key in indexed:
+            print(f"check_bench: duplicate row {key} in {path}", file=sys.stderr)
+            sys.exit(2)
+        indexed[key] = row
+    return indexed
+
+
+def close(a, b, rtol):
+    if isinstance(a, bool) or isinstance(b, bool) or \
+       not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return a == b
+    return abs(a - b) <= rtol * max(abs(a), abs(b), 1e-300)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--rtol", type=float, default=1e-4,
+                        help="relative tolerance (default 1e-4)")
+    args = parser.parse_args()
+
+    baseline = index_rows(load_rows(args.baseline), args.baseline)
+    current = index_rows(load_rows(args.current), args.current)
+
+    failures = []
+    for key, base_row in baseline.items():
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"missing row {key}")
+            continue
+        for field in COMPARED_FIELDS:
+            want, got = base_row.get(field), cur_row.get(field)
+            if not close(want, got, args.rtol):
+                failures.append(
+                    f"{key}: {field} baseline={want!r} current={got!r}")
+    for key in current:
+        if key not in baseline:
+            failures.append(f"unexpected extra row {key}")
+
+    if failures:
+        print(f"check_bench: {len(failures)} failure(s) "
+              f"(rtol={args.rtol:g}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {len(baseline)} rows match {args.current} "
+          f"within rtol={args.rtol:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
