@@ -1,13 +1,18 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "core/fsio.hpp"
 #include "core/parse_num.hpp"
+#include "core/json.hpp"
 #include "core/json_parse.hpp"
 #include "core/stats.hpp"
+#include "core/subprocess.hpp"
 #include "engine/harness.hpp"
+#include "engine/shard.hpp"
 
 namespace hxmesh::cli {
 
@@ -22,12 +27,22 @@ subcommands:
          run one grid cell; prints its JSON row
   sweep  (--topo SPEC)+ (--pattern SPEC)+ [(--engine NAME)+] [(--seed N)+]
          [--label L]* [--config FILE.json] [--json PATH]
+         [--shards N [--workers K] [--retries R]]
          run the full topology x engine x pattern x seed grid
-         (no --seed: each pattern's own seed= applies, default 1)
+         (no --seed: each pattern's own seed= applies, default 1).
+         With --shards: partition the grid into N contiguous shards,
+         fork/exec one 'hxmesh shard' worker per shard over K process
+         slots (retrying failed shards R extra times), then merge through
+         the shared result cache into the byte-identical single-process
+         row order
+  shard  --shards N --shard I [grid flags as for sweep] [--manifest PATH]
+         run one shard of the grid: simulate its cells, store them as
+         result-cache entries, and write a coverage manifest
   ls     [engines|topologies|patterns]
          list registered engines, topology families, pattern grammar
-  cache  stats|clear [--cache-dir DIR]
-         inspect or empty the result cache
+  cache  stats|clear|prune [--cache-dir DIR]
+         inspect, empty, or age/LRU-evict the result cache
+         (prune: --max-age AGE[s|m|h|d] and/or --max-entries N)
 
 common options:
   --json PATH       write rows as a JSON array to PATH ('-' = stdout)
@@ -35,12 +50,15 @@ common options:
   --no-cache        bypass the result cache entirely
   --threads N       worker threads (default: $HXMESH_THREADS, else hardware)
   --config FILE     sweep axes from a JSON object with keys "topologies",
-                    "engines", "patterns", "seeds", "labels" (flags append)
+                    "engines", "patterns", "seeds", "labels" (flags append),
+                    or several grids at once as {"grids": [{...}, {...}]}
 
 examples:
   hxmesh run --topo hx2mesh:8x8 --pattern alltoall:msg=1MiB
   hxmesh sweep --topo hx2mesh:8x8 --topo torus:16x16 \
                --pattern perm:msg=256KiB --seed 1 --seed 2 --json rows.json
+  hxmesh sweep --config bench/baselines/regression_grid.json \
+               --shards 4 --workers 2 --json rows.json
 )";
 
 [[noreturn]] void usage_error(const std::string& why) {
@@ -58,16 +76,55 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& token) {
   return *v;
 }
 
+/// Bounded flag value: rejects anything a later narrowing cast would
+/// silently wrap (e.g. --shards 4294967296 becoming 0 shards).
+std::uint64_t parse_bounded(const std::string& flag, const std::string& token,
+                            std::uint64_t max) {
+  const std::uint64_t v = parse_u64(flag, token);
+  if (v > max)
+    usage_error(flag + ": " + token + " is out of range (max " +
+                std::to_string(max) + ")");
+  return v;
+}
+
+/// Duration token for cache prune: integer seconds, or an integer with an
+/// s/m/h/d suffix ("90s", "10m", "6h", "7d").
+std::int64_t parse_age(const std::string& flag, const std::string& token) {
+  std::string digits = token;
+  std::int64_t scale = 1;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'd': scale = 86400; digits.pop_back(); break;
+      case 'h': scale = 3600; digits.pop_back(); break;
+      case 'm': scale = 60; digits.pop_back(); break;
+      case 's': scale = 1; digits.pop_back(); break;
+      default: break;
+    }
+  }
+  const std::optional<std::uint64_t> v = parse_u64_strict(digits);
+  if (!v || *v > INT64_MAX / scale)
+    usage_error(flag + ": bad duration '" + token +
+                "' (an integer with an optional s/m/h/d suffix)");
+  return static_cast<std::int64_t>(*v) * scale;
+}
+
 struct SweepOptions {
-  engine::SweepConfig config;
-  std::vector<std::string> labels;
+  engine::SweepConfig config;       // axes accumulated from flags
+  std::vector<std::string> labels;  // labels accumulated from flags
+  std::vector<engine::GridSpec> config_grids;  // a "grids" config file
   std::string json_path;  // empty or "-": stdout
   std::string cache_dir = engine::ResultCache::kDefaultDir;
   bool no_cache = false;
   int threads = 0;
+  // Sharded execution (sweep --shards / the shard subcommand).
+  unsigned shards = 0;        // 0: single-process sweep
+  int shard_index = -1;       // shard subcommand only
+  unsigned workers = 0;       // 0: min(shards, hardware)
+  unsigned retries = 1;       // extra attempts per failed shard
+  std::string manifest_path;  // shard subcommand output (default derived)
 };
 
-// Reads one string-array member of the config file into `out` (appending).
+// Reads one string-array member of a config object into `out` (appending).
 void read_string_array(const JsonValue& doc, const std::string& key,
                        std::vector<std::string>* out) {
   const JsonValue* v = doc.get(key);
@@ -80,24 +137,106 @@ void read_string_array(const JsonValue& doc, const std::string& key,
   }
 }
 
+// Reads the flat axis keys of one config object into config/labels.
+void read_axes(const JsonValue& doc, engine::SweepConfig* config,
+               std::vector<std::string>* labels) {
+  read_string_array(doc, "topologies", &config->topologies);
+  read_string_array(doc, "labels", labels);
+  std::vector<std::string> engines, patterns;
+  read_string_array(doc, "engines", &engines);
+  read_string_array(doc, "patterns", &patterns);
+  for (const std::string& e : engines) config->engines.push_back(e);
+  for (const std::string& p : patterns)
+    config->patterns.push_back(flow::parse_traffic(p));
+  if (const JsonValue* seeds = doc.get("seeds")) {
+    if (!seeds->is_array()) usage_error("config: \"seeds\" must be an array");
+    for (const JsonValue& s : seeds->array)
+      config->seeds.push_back(s.as_u64());
+  }
+}
+
 void merge_config_file(const std::string& path, SweepOptions* opt) {
   const std::optional<std::string> text = read_file(path);
   if (!text) throw std::runtime_error("cannot read config file " + path);
   const JsonValue doc = parse_json(*text);
   if (!doc.is_object()) usage_error("config: " + path + " is not an object");
-  read_string_array(doc, "topologies", &opt->config.topologies);
-  read_string_array(doc, "labels", &opt->labels);
-  std::vector<std::string> engines, patterns;
-  read_string_array(doc, "engines", &engines);
-  read_string_array(doc, "patterns", &patterns);
-  for (const std::string& e : engines) opt->config.engines.push_back(e);
-  for (const std::string& p : patterns)
-    opt->config.patterns.push_back(flow::parse_traffic(p));
-  if (const JsonValue* seeds = doc.get("seeds")) {
-    if (!seeds->is_array()) usage_error("config: \"seeds\" must be an array");
-    for (const JsonValue& s : seeds->array)
-      opt->config.seeds.push_back(s.as_u64());
+  if (const JsonValue* grids = doc.get("grids")) {
+    if (!grids->is_array() || grids->array.empty())
+      usage_error("config: \"grids\" must be a non-empty array");
+    for (const JsonValue& grid : grids->array) {
+      if (!grid.is_object())
+        usage_error("config: \"grids\" must contain objects");
+      engine::GridSpec spec;
+      spec.config.engines.clear();
+      spec.config.seeds.clear();
+      read_axes(grid, &spec.config, &spec.labels);
+      opt->config_grids.push_back(std::move(spec));
+    }
+    return;
   }
+  read_axes(doc, &opt->config, &opt->labels);
+}
+
+/// The grids a sweep/shard invocation describes: either the "grids" array
+/// of its config file, or the single grid accumulated from flags (and a
+/// flat config file). Validates and applies the engine default.
+std::vector<engine::GridSpec> final_grids(const SweepOptions& opt) {
+  std::vector<engine::GridSpec> grids;
+  if (!opt.config_grids.empty()) {
+    if (!opt.config.topologies.empty() || !opt.config.patterns.empty() ||
+        !opt.config.engines.empty() || !opt.config.seeds.empty() ||
+        !opt.labels.empty())
+      usage_error("a config with \"grids\" cannot be combined with axis flags");
+    grids = opt.config_grids;
+  } else {
+    grids.push_back({opt.config, opt.labels});
+  }
+  for (engine::GridSpec& grid : grids) {
+    if (grid.config.topologies.empty())
+      usage_error("need at least one --topo (or a --config file)");
+    if (grid.config.patterns.empty())
+      usage_error("need at least one --pattern (or a --config file)");
+    if (grid.config.engines.empty()) grid.config.engines = {"flow"};
+    // An empty seed axis stays empty: each pattern's embedded seed applies.
+  }
+  return grids;
+}
+
+/// Canonical "grids" config document for `grids` — what the orchestrator
+/// hands to its shard workers so parent and children agree on the plan.
+std::string render_grids_json(const std::vector<engine::GridSpec>& grids) {
+  auto string_array = [](const std::vector<std::string>& items) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out += (i ? "," : "");
+      out += "\"" + JsonObject::escape(items[i]) + "\"";
+    }
+    return out + "]";
+  };
+  std::string out = "{\"grids\":[";
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    const engine::GridSpec& grid = grids[g];
+    out += (g ? "," : "");
+    out += "{\"topologies\":" + string_array(grid.config.topologies);
+    if (!grid.labels.empty())
+      out += ",\"labels\":" + string_array(grid.labels);
+    out += ",\"engines\":" + string_array(grid.config.engines);
+    std::vector<std::string> patterns;
+    patterns.reserve(grid.config.patterns.size());
+    for (const flow::TrafficSpec& p : grid.config.patterns)
+      patterns.push_back(flow::pattern_spec(p));
+    out += ",\"patterns\":" + string_array(patterns);
+    if (!grid.config.seeds.empty()) {
+      out += ",\"seeds\":[";
+      for (std::size_t i = 0; i < grid.config.seeds.size(); ++i) {
+        out += (i ? "," : "");
+        out += std::to_string(grid.config.seeds[i]);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  return out + "]}\n";
 }
 
 void emit_rows(const std::vector<engine::SweepRow>& rows,
@@ -121,28 +260,174 @@ void report_cache(const engine::ResultCache& cache, std::ostream& err) {
       << "% hit rate) in " << cache.dir() << "\n";
 }
 
+std::string shard_meta_dir(const std::string& cache_dir) {
+  return cache_dir + "/" + engine::ResultCache::kShardMetaSubdir;
+}
+
+std::string default_manifest_path(const std::string& cache_dir,
+                                  const std::string& fingerprint,
+                                  unsigned shard, unsigned shards) {
+  return shard_meta_dir(cache_dir) + "/" + fingerprint + "." +
+         std::to_string(shard) + "-of-" + std::to_string(shards) + ".json";
+}
+
+int do_sweep_sharded(const SweepOptions& opt,
+                     const std::vector<engine::GridSpec>& grids,
+                     std::ostream& out, std::ostream& err) {
+  if (opt.no_cache)
+    usage_error("sweep: --shards needs the result cache (drop --no-cache)");
+  const engine::GridPlan plan(grids);
+  const std::string fingerprint = plan.fingerprint();
+  ensure_dir(shard_meta_dir(opt.cache_dir));
+
+  // Parent and children must agree on the grid byte for byte, so the
+  // orchestrator writes the canonical grids document and every worker
+  // parses that file instead of re-receiving axis flags.
+  const std::string grid_file =
+      shard_meta_dir(opt.cache_dir) + "/" + fingerprint + ".grid.json";
+  write_file_atomic(grid_file, render_grids_json(grids));
+
+  std::vector<std::string> manifest_paths;
+  manifest_paths.reserve(opt.shards);
+  for (unsigned i = 0; i < opt.shards; ++i) {
+    manifest_paths.push_back(
+        default_manifest_path(opt.cache_dir, fingerprint, i, opt.shards));
+    // Stale manifests from an aborted run must not stand in for a worker
+    // that failed this time around.
+    remove_file(manifest_paths.back());
+  }
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers = opt.workers ? opt.workers : hardware;
+  if (workers > opt.shards) workers = opt.shards;
+
+  // Each worker child gets an explicit thread budget: the user's --threads
+  // verbatim, else the hardware split across the concurrent workers — K
+  // children must not each default to a full hardware-width pool.
+  const int child_threads =
+      opt.threads > 0 ? opt.threads
+                      : static_cast<int>(std::max(1u, hardware / workers));
+
+  const std::string exe = self_exe_path();
+  auto launch = [&](unsigned shard) {
+    const std::vector<std::string> argv = {exe,
+                                           "shard",
+                                           "--config",
+                                           grid_file,
+                                           "--shards",
+                                           std::to_string(opt.shards),
+                                           "--shard",
+                                           std::to_string(shard),
+                                           "--manifest",
+                                           manifest_paths[shard],
+                                           "--cache-dir",
+                                           opt.cache_dir,
+                                           "--threads",
+                                           std::to_string(child_threads)};
+    return run_command(argv);
+  };
+
+  const auto runs = engine::run_shard_jobs(opt.shards, workers,
+                                           1 + opt.retries, launch);
+  unsigned failed = 0;
+  for (const engine::ShardRun& run : runs) {
+    if (run.exit_code == 0 && run.attempts > 1)
+      err << "shard " << run.shard << ": succeeded on attempt "
+          << run.attempts << "\n";
+    if (run.exit_code != 0) {
+      ++failed;
+      err << "shard " << run.shard << ": failed with exit code "
+          << run.exit_code << " after " << run.attempts << " attempt(s)\n";
+    }
+  }
+  if (failed > 0)
+    throw std::runtime_error("sweep: " + std::to_string(failed) +
+                             " of " + std::to_string(opt.shards) +
+                             " shards failed");
+
+  std::vector<engine::ShardManifest> manifests;
+  manifests.reserve(opt.shards);
+  for (const std::string& path : manifest_paths) {
+    const std::optional<std::string> text = read_file(path);
+    if (!text)
+      throw std::runtime_error("sweep: shard manifest missing: " + path);
+    manifests.push_back(engine::parse_manifest(*text));
+  }
+  if (const std::string problem = engine::merge_error(plan, manifests);
+      !problem.empty())
+    throw std::runtime_error("sweep: shard merge failed: " + problem);
+
+  std::uint64_t hits = 0, computed = 0;
+  for (const engine::ShardManifest& m : manifests) {
+    hits += m.hits;
+    computed += m.computed;
+  }
+  err << "shards: " << opt.shards << " ok over " << workers
+      << " worker(s); cells: " << hits << " hits, " << computed
+      << " computed\n";
+
+  // Merge: re-read the whole plan through the cache the workers filled.
+  // Every cell hits, and %.17g entry rendering makes the merged rows
+  // byte-identical to a single-process run of the same grid.
+  engine::ExperimentHarness harness(opt.threads);
+  engine::ResultCache cache(opt.cache_dir);
+  const auto rows = harness.run_cells(plan, 0, plan.total_cells(), &cache);
+  emit_rows(rows, opt.json_path, out, err);
+  report_cache(cache, err);
+  return 0;
+}
+
 int do_sweep(SweepOptions opt, std::ostream& out, std::ostream& err) {
-  if (opt.config.topologies.empty())
-    usage_error("sweep: need at least one --topo (or a --config file)");
-  if (opt.config.patterns.empty())
-    usage_error("sweep: need at least one --pattern (or a --config file)");
-  if (opt.config.engines.empty()) opt.config.engines = {"flow"};
-  // No --seed flags: leave the axis empty so each pattern's embedded
-  // seed= (default 1) is honored instead of being overridden.
+  const auto grids = final_grids(opt);
+  if (opt.shards > 0) return do_sweep_sharded(opt, grids, out, err);
 
   engine::ExperimentHarness harness(opt.threads);
   std::optional<engine::ResultCache> cache;
   if (!opt.no_cache) cache.emplace(opt.cache_dir);
-  auto rows = harness.run_grid(opt.config, opt.labels,
-                               cache ? &*cache : nullptr);
+  auto rows = harness.run_grids(grids, cache ? &*cache : nullptr);
   emit_rows(rows, opt.json_path, out, err);
   if (cache) report_cache(*cache, err);
+  return 0;
+}
+
+int do_shard(SweepOptions opt, std::ostream& out, std::ostream& err) {
+  (void)out;  // a shard's data output is the cache, not stdout
+  if (opt.shards == 0) usage_error("shard: need --shards N (N >= 1)");
+  if (opt.shard_index < 0) usage_error("shard: need --shard I");
+  if (static_cast<unsigned>(opt.shard_index) >= opt.shards)
+    usage_error("shard: --shard " + std::to_string(opt.shard_index) +
+                " out of range for --shards " + std::to_string(opt.shards));
+  if (opt.no_cache)
+    usage_error("shard: the result cache is the shard's output "
+                "(drop --no-cache)");
+
+  const auto grids = final_grids(opt);
+  const engine::GridPlan plan(grids);
+  engine::ExperimentHarness harness(opt.threads);
+  engine::ResultCache cache(opt.cache_dir);
+  const engine::ShardManifest manifest = engine::run_shard(
+      harness, plan, static_cast<unsigned>(opt.shard_index), opt.shards,
+      cache);
+
+  std::string path = opt.manifest_path;
+  if (path.empty())
+    path = default_manifest_path(opt.cache_dir, plan.fingerprint(),
+                                 manifest.shard, manifest.shards);
+  write_file_atomic(path, engine::render_manifest(manifest));
+  err << "shard " << manifest.shard << "/" << manifest.shards << ": cells ["
+      << manifest.cell_lo << ", " << manifest.cell_hi << ") — "
+      << manifest.hits << " hits, " << manifest.computed
+      << " computed; manifest " << path << "\n";
   return 0;
 }
 
 // `run` is a one-cell sweep sharing the whole cached pipeline; the only
 // difference is output shape (one object, not an array).
 int do_run(SweepOptions opt, std::ostream& out, std::ostream& err) {
+  if (opt.shards != 0 || opt.shard_index >= 0)
+    usage_error("run: sharding flags apply to sweep and shard only");
+  if (!opt.config_grids.empty())
+    usage_error("run: a \"grids\" config applies to sweep only");
   if (opt.config.topologies.size() != 1)
     usage_error("run: need exactly one --topo");
   if (opt.config.patterns.size() != 1)
@@ -171,8 +456,8 @@ SweepOptions parse_grid_flags(const std::vector<std::string>& args,
                               std::size_t start) {
   SweepOptions opt;
   // SweepConfig carries defaults ("flow", seed 1); flags and config files
-  // must replace them, not append to them. do_run/do_sweep re-default any
-  // axis that stays empty.
+  // must replace them, not append to them. final_grids/do_run re-default
+  // any axis that stays empty.
   opt.config.engines.clear();
   opt.config.seeds.clear();
   std::string config_path;
@@ -197,7 +482,22 @@ SweepOptions parse_grid_flags(const std::vector<std::string>& args,
     else if (flag == "--no-cache")
       opt.no_cache = true;
     else if (flag == "--threads")
-      opt.threads = static_cast<int>(parse_u64(flag, need_value(args, i)));
+      opt.threads = static_cast<int>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--shards")
+      opt.shards = static_cast<unsigned>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--shard")
+      opt.shard_index = static_cast<int>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--workers")
+      opt.workers = static_cast<unsigned>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--retries")
+      opt.retries = static_cast<unsigned>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--manifest")
+      opt.manifest_path = need_value(args, i);
     else
       usage_error("unknown flag '" + flag + "'");
   }
@@ -236,9 +536,16 @@ int do_cache(const std::vector<std::string>& args, std::size_t start,
              std::ostream& out) {
   std::string action;
   std::string dir = engine::ResultCache::kDefaultDir;
+  std::optional<std::int64_t> max_age_s;
+  std::optional<std::size_t> max_entries;
   for (std::size_t i = start; i < args.size(); ++i) {
     if (args[i] == "--cache-dir")
       dir = need_value(args, i);
+    else if (args[i] == "--max-age")
+      max_age_s = parse_age(args[i], need_value(args, i));
+    else if (args[i] == "--max-entries")
+      max_entries = static_cast<std::size_t>(
+          parse_u64(args[i], need_value(args, i)));
     else if (action.empty() && args[i][0] != '-')
       action = args[i];
     else
@@ -257,7 +564,15 @@ int do_cache(const std::vector<std::string>& args, std::size_t start,
         << "\n";
     return 0;
   }
-  usage_error("cache: need an action (stats or clear)");
+  if (action == "prune") {
+    if (!max_age_s && !max_entries)
+      usage_error("cache prune: need --max-age and/or --max-entries");
+    const auto pruned = cache.prune(max_age_s, max_entries);
+    out << "pruned " << pruned.removed << " entries (" << pruned.kept
+        << " kept) in " << cache.dir() << "\n";
+    return 0;
+  }
+  usage_error("cache: need an action (stats, clear, or prune)");
 }
 
 int dispatch(const std::vector<std::string>& args, std::ostream& out,
@@ -273,6 +588,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
   }
   if (cmd == "run") return do_run(parse_grid_flags(args, 1), out, err);
   if (cmd == "sweep") return do_sweep(parse_grid_flags(args, 1), out, err);
+  if (cmd == "shard") return do_shard(parse_grid_flags(args, 1), out, err);
   if (cmd == "ls") return do_ls(args, 1, out);
   if (cmd == "cache") return do_cache(args, 1, out);
   usage_error("unknown subcommand '" + cmd + "'");

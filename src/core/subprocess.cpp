@@ -1,0 +1,59 @@
+#include "core/subprocess.hpp"
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace hxmesh {
+
+int run_command(const std::vector<std::string>& argv) {
+  if (argv.empty())
+    throw std::runtime_error("run_command: empty argv");
+
+  // posix_spawn (not fork+exec): safe to call with harness worker threads
+  // alive, and it reports spawn failures as error codes instead of a child
+  // that dies before exec.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv)
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, cargv[0], nullptr, nullptr, cargv.data(), environ);
+  if (rc != 0)
+    throw std::runtime_error("run_command: cannot spawn " + argv[0] + ": " +
+                             std::strerror(rc));
+
+  int status = 0;
+  for (;;) {
+    if (::waitpid(pid, &status, 0) >= 0) break;
+    if (errno != EINTR)
+      throw std::runtime_error("run_command: waitpid failed for " + argv[0] +
+                               ": " + std::strerror(errno));
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+std::string self_exe_path() {
+  if (const char* env = std::getenv("HXMESH_EXE"); env && *env) return env;
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len <= 0)
+    throw std::runtime_error(
+        "self_exe_path: cannot resolve /proc/self/exe (set HXMESH_EXE)");
+  buf[len] = '\0';
+  return buf;
+}
+
+}  // namespace hxmesh

@@ -1,0 +1,37 @@
+// Child-process helpers for the sharded sweep orchestrator.
+//
+// The orchestrator fork/execs one `hxmesh shard` worker per shard; all it
+// needs from the OS is "run this argv to completion and give me the exit
+// code" plus a way to find its own binary to re-invoke. Both live here so
+// the CLI stays free of platform ifdefs and the engine layer stays free of
+// process management.
+#pragma once
+
+/// \file
+/// \brief Child-process helpers: run an argv to completion and resolve
+/// the running executable's own path.
+
+#include <string>
+#include <vector>
+
+namespace hxmesh {
+
+/// \brief Runs `argv` as a child process to completion, inheriting stdio
+/// and the environment.
+///
+/// `argv[0]` is the executable path (no PATH search). Returns the child's
+/// exit code; a child killed by a signal reports 128 plus the signal
+/// number (the shell convention). Safe to call from multiple threads at
+/// once — each call waits on its own child.
+/// \throws std::runtime_error when the process cannot be spawned.
+int run_command(const std::vector<std::string>& argv);
+
+/// \brief Absolute path of the currently running executable.
+///
+/// `$HXMESH_EXE`, when set and non-empty, overrides the detection — that
+/// is how tests point the orchestrator at a real `hxmesh` binary from
+/// inside a test runner. Otherwise resolves /proc/self/exe.
+/// \throws std::runtime_error when neither source resolves.
+std::string self_exe_path();
+
+}  // namespace hxmesh

@@ -9,6 +9,11 @@
 // (sharded, distributed, analytic) plug in via register_engine().
 #pragma once
 
+/// \file
+/// \brief SimEngine — one interface over the paper's two evaluation paths
+/// (flow-level solver, packet-level simulator) — and its uniform
+/// RunResult.
+
 #include <memory>
 #include <string>
 

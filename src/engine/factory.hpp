@@ -17,6 +17,11 @@
 //   torus:XxY[:board=AxB]      2D torus, PCB traces inside each board
 #pragma once
 
+/// \file
+/// \brief Factory registry: engines by name (`flow`, `packet`),
+/// topologies by spec string (`hx2mesh:16x16`, `fattree:1024:taper=0.5`).
+/// See topology_grammar() for the full spec-string grammar.
+
 #include <functional>
 #include <memory>
 #include <string>

@@ -1,5 +1,6 @@
 #include "engine/harness.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -11,42 +12,33 @@ namespace hxmesh::engine {
 std::vector<SweepRow> ExperimentHarness::run_grid(
     const SweepConfig& config, const std::vector<std::string>& labels,
     ResultCache* cache) {
-  if (!labels.empty() && labels.size() != config.topologies.size())
-    throw std::invalid_argument(
-        "run_grid: labels must parallel topologies (got " +
-        std::to_string(labels.size()) + " labels for " +
-        std::to_string(config.topologies.size()) + " topologies)");
+  return run_grids({GridSpec{config, labels}}, cache);
+}
 
-  const std::size_t nt = config.topologies.size();
-  const std::size_t ne = config.engines.size();
-  const std::size_t np = config.patterns.size();
-  // An empty seed axis means "one run per pattern, using its own seed".
-  const bool inherit_seeds = config.seeds.empty();
-  const std::size_t ns = inherit_seeds ? 1 : config.seeds.size();
-  const std::size_t total = nt * ne * np * ns;
+std::vector<SweepRow> ExperimentHarness::run_grids(
+    const std::vector<GridSpec>& grids, ResultCache* cache) {
+  const GridPlan plan(grids);
+  return run_cells(plan, 0, plan.total_cells(), cache);
+}
 
-  // Fill every row's identity up front (cheap, serial); the simulation
-  // phase below only ever touches row.result.
-  std::vector<SweepRow> rows(total);
-  for (std::size_t ti = 0; ti < nt; ++ti)
-    for (std::size_t ei = 0; ei < ne; ++ei)
-      for (std::size_t pi = 0; pi < np; ++pi)
-        for (std::size_t si = 0; si < ns; ++si) {
-          SweepRow& row = rows[((ti * ne + ei) * np + pi) * ns + si];
-          row.topology = config.topologies[ti];
-          row.label = labels.empty() ? config.topologies[ti] : labels[ti];
-          row.engine = config.engines[ei];
-          row.pattern = config.patterns[pi];
-          row.seed = inherit_seeds ? row.pattern.seed : config.seeds[si];
-          row.pattern.seed = row.seed;
-        }
+std::vector<SweepRow> ExperimentHarness::run_cells(const GridPlan& plan,
+                                                   std::size_t lo,
+                                                   std::size_t hi,
+                                                   ResultCache* cache) {
+  if (lo > hi || hi > plan.total_cells())
+    throw std::invalid_argument("run_cells: bad range [" + std::to_string(lo) +
+                                ", " + std::to_string(hi) + ") of " +
+                                std::to_string(plan.total_cells()) + " cells");
+  const std::size_t n = hi - lo;
+  std::vector<SweepRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = plan.cell_row(lo + i);
 
   // Probe the cache for every cell in parallel. Cells never share an entry
   // file, so the loads are independent.
-  std::vector<std::string> keys(cache ? total : 0);
-  std::vector<char> cached(total, 0);
+  std::vector<std::string> keys(cache ? n : 0);
+  std::vector<char> cached(n, 0);
   if (cache) {
-    pool_.parallel_for(total, [&](std::size_t i) {
+    pool_.parallel_for(n, [&](std::size_t i) {
       const SweepRow& row = rows[i];
       keys[i] =
           ResultCache::cell_key(row.topology, row.engine, row.pattern, row.seed);
@@ -60,36 +52,50 @@ std::vector<SweepRow> ExperimentHarness::run_grid(
   // One job per (topology, engine): the engine instance is reused across
   // its patterns and seeds so per-topology caches (e.g. the flow engine's
   // measured ring) amortize, while jobs stay independent across threads.
-  // Jobs (and even topology construction) are skipped entirely when every
-  // one of their cells came out of the cache.
-  auto job_has_miss = [&](std::size_t job) {
-    for (std::size_t c = job * np * ns; c < (job + 1) * np * ns; ++c)
-      if (!cached[c]) return true;
+  // Only the jobs intersecting [lo, hi) exist here, clamped to the range —
+  // this is what lets a shard execute a slice of a grid.
+  std::vector<std::size_t> jobs;
+  for (std::size_t j = 0; j < plan.num_jobs(); ++j) {
+    const auto [jl, jh] = plan.job_range(j);
+    if (jh > lo && jl < hi) jobs.push_back(j);
+  }
+
+  auto job_has_miss = [&](std::size_t j) {
+    const auto [jl, jh] = plan.job_range(j);
+    for (std::size_t c = std::max(jl, lo); c < std::min(jh, hi); ++c)
+      if (!cached[c - lo]) return true;
     return false;
   };
 
   // Build every needed topology once, in parallel; all of its jobs share
   // it (dist_field caching is thread-safe, so this is sound and warm).
-  std::vector<std::unique_ptr<topo::Topology>> topologies(nt);
-  pool_.parallel_for(nt, [&](std::size_t ti) {
-    for (std::size_t ei = 0; ei < ne; ++ei)
-      if (job_has_miss(ti * ne + ei)) {
-        topologies[ti] = make_topology(config.topologies[ti]);
-        return;
-      }
+  // Jobs (and even topology construction) are skipped entirely when every
+  // one of their cells came out of the cache.
+  std::vector<std::unique_ptr<topo::Topology>> topologies(
+      plan.num_topo_slots());
+  std::vector<std::size_t> slots;
+  {
+    std::vector<char> needed(plan.num_topo_slots(), 0);
+    for (std::size_t j : jobs)
+      if (job_has_miss(j)) needed[plan.job_topo_slot(j)] = 1;
+    for (std::size_t s = 0; s < needed.size(); ++s)
+      if (needed[s]) slots.push_back(s);
+  }
+  pool_.parallel_for(slots.size(), [&](std::size_t k) {
+    topologies[slots[k]] = make_topology(plan.topo_slot_spec(slots[k]));
   });
 
-  pool_.parallel_for(nt * ne, [&](std::size_t job) {
-    if (!job_has_miss(job)) return;
-    const std::size_t ti = job / ne;
-    const std::size_t ei = job % ne;
-    auto engine = make_engine(config.engines[ei], *topologies[ti]);
-    for (std::size_t cell = job * np * ns; cell < (job + 1) * np * ns;
-         ++cell) {
-      if (cached[cell]) continue;
-      SweepRow& row = rows[cell];
+  pool_.parallel_for(jobs.size(), [&](std::size_t k) {
+    const std::size_t j = jobs[k];
+    if (!job_has_miss(j)) return;
+    auto engine =
+        make_engine(plan.job_engine(j), *topologies[plan.job_topo_slot(j)]);
+    const auto [jl, jh] = plan.job_range(j);
+    for (std::size_t c = std::max(jl, lo); c < std::min(jh, hi); ++c) {
+      if (cached[c - lo]) continue;
+      SweepRow& row = rows[c - lo];
       row.result = engine->run(row.pattern);
-      if (cache) cache->store(keys[cell], row.result);
+      if (cache) cache->store(keys[c - lo], row.result);
     }
   });
   return rows;

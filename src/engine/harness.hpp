@@ -4,11 +4,16 @@
 // Every bench used to hand-roll the same three nested loops and printf
 // plumbing; the harness replaces them with one grid description. Results
 // are deterministic by construction — each grid cell is an independent job
-// whose output lands at a precomputed index, so a 4-thread run produces
-// exactly the rows of a 1-thread run (only wall-clock changes). This is
-// what makes the lazily-filled Topology::dist_field cache's thread safety
-// load-bearing: all jobs of one topology share a single instance.
+// whose output lands at a precomputed index (see GridPlan), so a 4-thread
+// run produces exactly the rows of a 1-thread run (only wall-clock
+// changes). This is what makes the lazily-filled Topology::dist_field
+// cache's thread safety load-bearing: all jobs of one topology share a
+// single instance.
 #pragma once
+
+/// \file
+/// \brief ExperimentHarness — deterministic parallel execution of sweep
+/// grids, with content-addressed caching and sharded-range execution.
 
 #include <cstdint>
 #include <functional>
@@ -18,44 +23,30 @@
 
 #include "core/thread_pool.hpp"
 #include "engine/factory.hpp"
+#include "engine/grid_plan.hpp"
 #include "engine/result_cache.hpp"
 
 namespace hxmesh::engine {
 
-/// One sweep: the cross product of all four axes. Patterns carry their own
-/// message sizes; put one TrafficSpec per (pattern, size) point.
-struct SweepConfig {
-  std::vector<std::string> topologies;          // factory spec strings
-  std::vector<std::string> engines = {"flow"};  // registry names
-  std::vector<flow::TrafficSpec> patterns;
-  // Non-empty: a seed axis that overrides every pattern's own seed (one
-  // row per seed). Empty: no seed axis — each pattern runs once with the
-  // seed embedded in it ("perm:seed=9"), which is how the CLI honors
-  // seed= in spec strings when no --seed flag is given.
-  std::vector<std::uint64_t> seeds = {1};
-};
-
-/// One grid cell's outcome.
-struct SweepRow {
-  std::string topology;      // spec string
-  std::string label;         // display label (defaults to the spec)
-  std::string engine;
-  flow::TrafficSpec pattern; // with the row's seed applied
-  std::uint64_t seed = 1;
-  RunResult result;
-};
-
+/// \brief Runs sweep grids over a fixed-width thread pool.
+///
+/// One harness owns one ThreadPool; construct it once and reuse it for
+/// every grid of a program. All run methods are deterministic: row order
+/// and row content are independent of the thread count.
 class ExperimentHarness {
  public:
-  /// `threads <= 0` uses the hardware concurrency.
+  /// \brief `threads <= 0` uses `$HXMESH_THREADS`, else the hardware
+  /// concurrency.
   explicit ExperimentHarness(int threads = 0) : pool_(threads) {}
 
-  /// Runs the full grid; rows are ordered topology-major, then engine,
-  /// pattern, seed — identical for any thread count. Topologies are built
-  /// once and shared by all their jobs; every job gets a fresh engine.
-  /// `labels`, when non-empty, must parallel `topologies` and sets the
-  /// display label of each row (e.g. Table II row names); a size mismatch
-  /// throws std::invalid_argument naming both sizes.
+  /// \brief Runs one full grid; rows are ordered topology-major, then
+  /// engine, pattern, seed — identical for any thread count.
+  ///
+  /// Topologies are built once and shared by all their jobs; every job
+  /// gets a fresh engine. `labels`, when non-empty, must parallel
+  /// `topologies` and sets the display label of each row (e.g. Table II
+  /// row names); a size mismatch throws std::invalid_argument naming both
+  /// sizes.
   ///
   /// With a `cache`, every cell's key is probed first and only misses are
   /// simulated (then stored); a topology whose cells all hit is never even
@@ -65,9 +56,26 @@ class ExperimentHarness {
                                  const std::vector<std::string>& labels = {},
                                  ResultCache* cache = nullptr);
 
-  /// Deterministic parallel map for experiments that are not topology
-  /// sweeps (allocator studies, custom jobs): runs fn(0..n-1) across the
-  /// pool and returns results in index order.
+  /// \brief Runs several grids as one sweep; rows are the concatenation of
+  /// each grid's rows in order (the multi-grid CLI config format). All
+  /// grids' cells share the pool — and the cache — at once.
+  std::vector<SweepRow> run_grids(const std::vector<GridSpec>& grids,
+                                  ResultCache* cache = nullptr);
+
+  /// \brief Executes the contiguous cell range `[lo, hi)` of `plan` and
+  /// returns its rows in plan order.
+  ///
+  /// This is the primitive under run_grid, run_grids, and the sharded
+  /// backend's run_shard: probe the cache for every cell in the range,
+  /// build only the topologies that still have misses, simulate the
+  /// misses, and store them back. Rows depend only on the plan and the
+  /// range, never on the thread count or on which cells hit.
+  std::vector<SweepRow> run_cells(const GridPlan& plan, std::size_t lo,
+                                  std::size_t hi, ResultCache* cache);
+
+  /// \brief Deterministic parallel map for experiments that are not
+  /// topology sweeps (allocator studies, custom jobs): runs fn(0..n-1)
+  /// across the pool and returns results in index order.
   template <typename R>
   std::vector<R> map(std::size_t n, const std::function<R(std::size_t)>& fn) {
     std::vector<R> out(n);
@@ -75,26 +83,31 @@ class ExperimentHarness {
     return out;
   }
 
+  /// \brief The underlying pool (benches reuse it for custom phases).
   ThreadPool& pool() { return pool_; }
 
  private:
   ThreadPool pool_;
 };
 
-/// One flat JSON object per row (stable key order, fixed float format).
-/// The "pattern" key is the canonical pattern spec with the seed omitted
-/// (the row's "seed" key carries it), so distinct cells never collide.
+/// \brief One flat JSON object per row (stable key order, fixed float
+/// format). The "pattern" key is the canonical pattern spec with the seed
+/// omitted (the row's "seed" key carries it), so distinct cells never
+/// collide.
 std::string row_json(const SweepRow& row);
 
-/// Writes rows as a JSON array to `path` ("-" for stdout). The bench
-/// convention is BENCH_<name>.json next to the binary's working directory.
+/// \brief Writes rows as a JSON array to `path` ("-" for stdout). The
+/// bench convention is `BENCH_*.json` next to the binary's working
+/// directory.
 void write_json(const std::string& path, const std::vector<SweepRow>& rows);
 
-/// Same array layout onto a stream (the CLI's stdout path) — one source
-/// of truth for the framing, so file and stream output stay identical.
+/// \brief Same array layout onto a stream (the CLI's stdout path) — one
+/// source of truth for the framing, so file and stream output stay
+/// identical.
 void write_json(std::ostream& out, const std::vector<SweepRow>& rows);
 
-/// Same, for pre-rendered JSON objects (benches with custom metrics).
+/// \brief Same, for pre-rendered JSON objects (benches with custom
+/// metrics).
 void write_json_rendered(const std::string& path,
                          const std::vector<std::string>& objects);
 void write_json_rendered(std::ostream& out,

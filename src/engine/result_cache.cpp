@@ -1,7 +1,11 @@
 #include "engine/result_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <utility>
+#include <vector>
 
 #include "core/fsio.hpp"
 #include "core/hash.hpp"
@@ -125,6 +129,9 @@ std::optional<RunResult> ResultCache::load(const std::string& key) {
     try {
       RunResult result = parse_result(*text);
       hits_.fetch_add(1);
+      // Mark the entry as recently used so prune()'s max-entries bound
+      // evicts in LRU order. Best effort: a read-only store still hits.
+      touch_file(entry_path(key));
       return result;
     } catch (const std::exception&) {
       // Corrupt entry — including out_of_range from oversized integer
@@ -158,7 +165,45 @@ std::size_t ResultCache::clear() const {
       continue;
     if (remove_file(path)) ++removed;
   }
+  remove_tree(shard_meta_dir());
   return removed;
+}
+
+ResultCache::PruneStats ResultCache::prune(
+    std::optional<std::int64_t> max_age_s,
+    std::optional<std::size_t> max_entries) const {
+  // Snapshot (mtime, path) for every entry; list_files sorts by name, so
+  // mtime ties deterministically break by file name below.
+  std::vector<std::pair<std::int64_t, std::string>> entries;
+  for (const std::string& path : list_files(dir_)) {
+    if (path.size() < 5 || path.compare(path.size() - 5, 5, ".json") != 0)
+      continue;
+    if (std::optional<std::int64_t> mtime = file_mtime(path))
+      entries.emplace_back(*mtime, path);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  PruneStats stats;
+  std::size_t first_kept = 0;
+  if (max_age_s) {
+    const std::int64_t cutoff =
+        static_cast<std::int64_t>(std::time(nullptr)) - *max_age_s;
+    while (first_kept < entries.size() && entries[first_kept].first < cutoff)
+      ++first_kept;
+    // Sharded-sweep metadata ages out on the same bound; it is derived
+    // from the entries, so it is cleaned up silently (not counted).
+    for (const std::string& path : list_files(shard_meta_dir()))
+      if (std::optional<std::int64_t> mtime = file_mtime(path);
+          mtime && *mtime < cutoff)
+        remove_file(path);
+  }
+  if (max_entries && entries.size() - first_kept > *max_entries)
+    first_kept = entries.size() - *max_entries;
+  for (std::size_t i = 0; i < first_kept; ++i)
+    if (remove_file(entries[i].second)) ++stats.removed;
+  stats.kept = entries.size() - first_kept;
+  return stats;
 }
 
 }  // namespace hxmesh::engine

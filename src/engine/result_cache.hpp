@@ -14,6 +14,11 @@
 // counters are atomics.
 #pragma once
 
+/// \file
+/// \brief ResultCache — content-addressed, on-disk memoization of
+/// RunResults, with age/LRU pruning. The shared store doubles as the
+/// wire format of the sharded execution backend.
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -31,6 +36,11 @@ class ResultCache {
 
   static constexpr const char* kDefaultDir = ".hxmesh-cache";
 
+  /// Subdirectory of `dir()` holding sharded-sweep metadata (canonical
+  /// grid handoff files and per-shard coverage manifests). Lives inside
+  /// the cache so clear()/prune() can reclaim it alongside the entries.
+  static constexpr const char* kShardMetaSubdir = "shards";
+
   explicit ResultCache(std::string dir = kDefaultDir) : dir_(std::move(dir)) {}
 
   /// The bench-wide convention: a cache in $HXMESH_CACHE_DIR when that
@@ -39,6 +49,11 @@ class ResultCache {
   static std::unique_ptr<ResultCache> from_env();
 
   const std::string& dir() const { return dir_; }
+
+  /// Where sharded sweeps park their metadata for this store.
+  std::string shard_meta_dir() const {
+    return dir_ + "/" + kShardMetaSubdir;
+  }
 
   /// Hex content hash identifying one grid cell. The pattern is
   /// canonicalized via flow::pattern_spec with `seed` applied, so two
@@ -68,8 +83,25 @@ class ResultCache {
   /// Counts entry files and their total size on disk.
   Stats stats() const;
 
-  /// Deletes all entries; returns how many were removed.
+  /// Deletes all entries (and the sharded-sweep metadata under
+  /// shard_meta_dir()); returns how many entries were removed.
   std::size_t clear() const;
+
+  struct PruneStats {
+    std::size_t removed = 0;
+    std::size_t kept = 0;
+  };
+  /// Evicts entries by age and count: first removes entries whose
+  /// last-use time (mtime — load() touches entries on hit, so this is an
+  /// LRU order, not a creation order) is more than `max_age_s` seconds
+  /// ago, then, if more than `max_entries` remain, removes the
+  /// least-recently-used ones down to that bound. Pass nullopt to skip
+  /// either criterion. Deterministic: ties on mtime break by file name.
+  /// With an age bound, sharded-sweep metadata files under
+  /// shard_meta_dir() past the bound are cleaned up as well (they are
+  /// derived artifacts, not entries, so they appear in neither count).
+  PruneStats prune(std::optional<std::int64_t> max_age_s,
+                   std::optional<std::size_t> max_entries) const;
 
  private:
   std::string entry_path(const std::string& key) const {

@@ -1,0 +1,173 @@
+#include "engine/shard.hpp"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/json_parse.hpp"
+
+namespace hxmesh::engine {
+
+std::string render_manifest(const ShardManifest& manifest) {
+  std::string out =
+      "{\"schema\":" + std::to_string(ShardManifest::kSchemaVersion);
+  out += ",\"grid\":\"" + manifest.fingerprint + "\"";
+  out += ",\"shard\":" + std::to_string(manifest.shard);
+  out += ",\"shards\":" + std::to_string(manifest.shards);
+  out += ",\"cell_lo\":" + std::to_string(manifest.cell_lo);
+  out += ",\"cell_hi\":" + std::to_string(manifest.cell_hi);
+  out += ",\"hits\":" + std::to_string(manifest.hits);
+  out += ",\"computed\":" + std::to_string(manifest.computed);
+  out += ",\"keys\":[";
+  for (std::size_t i = 0; i < manifest.keys.size(); ++i) {
+    out += (i ? "," : "");
+    out += "\"" + manifest.keys[i] + "\"";
+  }
+  out += "]}\n";
+  return out;
+}
+
+ShardManifest parse_manifest(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object())
+    throw std::invalid_argument("shard manifest: not a JSON object");
+  const JsonValue* schema = doc.get("schema");
+  if (!schema || schema->as_int() != ShardManifest::kSchemaVersion)
+    throw std::invalid_argument("shard manifest: schema mismatch");
+
+  auto u64 = [&](const char* key) {
+    const JsonValue* v = doc.get(key);
+    if (!v)
+      throw std::invalid_argument(std::string("shard manifest: missing ") +
+                                  key);
+    return v->as_u64();
+  };
+
+  ShardManifest manifest;
+  const JsonValue* grid = doc.get("grid");
+  if (!grid || !grid->is_string())
+    throw std::invalid_argument("shard manifest: missing grid fingerprint");
+  manifest.fingerprint = grid->str;
+  manifest.shard = static_cast<unsigned>(u64("shard"));
+  manifest.shards = static_cast<unsigned>(u64("shards"));
+  manifest.cell_lo = u64("cell_lo");
+  manifest.cell_hi = u64("cell_hi");
+  manifest.hits = u64("hits");
+  manifest.computed = u64("computed");
+  const JsonValue* keys = doc.get("keys");
+  if (!keys || !keys->is_array())
+    throw std::invalid_argument("shard manifest: missing keys");
+  manifest.keys.reserve(keys->array.size());
+  for (const JsonValue& k : keys->array) {
+    if (!k.is_string())
+      throw std::invalid_argument("shard manifest: non-string key");
+    manifest.keys.push_back(k.str);
+  }
+  if (manifest.keys.size() != manifest.cell_hi - manifest.cell_lo)
+    throw std::invalid_argument("shard manifest: key count mismatches range");
+  return manifest;
+}
+
+ShardManifest run_shard(ExperimentHarness& harness, const GridPlan& plan,
+                        unsigned shard, unsigned shards, ResultCache& cache) {
+  const auto [lo, hi] = plan.shard_cells(shard, shards);
+  const std::size_t hits_before = cache.hits();
+  const std::size_t misses_before = cache.misses();
+  harness.run_cells(plan, lo, hi, &cache);
+
+  ShardManifest manifest;
+  manifest.fingerprint = plan.fingerprint();
+  manifest.shard = shard;
+  manifest.shards = shards;
+  manifest.cell_lo = lo;
+  manifest.cell_hi = hi;
+  manifest.hits = cache.hits() - hits_before;
+  manifest.computed = cache.misses() - misses_before;
+  manifest.keys.reserve(hi - lo);
+  for (std::size_t c = lo; c < hi; ++c)
+    manifest.keys.push_back(plan.cell_key(c));
+  return manifest;
+}
+
+std::string merge_error(const GridPlan& plan,
+                        const std::vector<ShardManifest>& manifests) {
+  if (manifests.empty()) return "no shard manifests";
+  const unsigned shards = manifests.front().shards;
+  if (manifests.size() != shards)
+    return "expected " + std::to_string(shards) + " manifests, got " +
+           std::to_string(manifests.size());
+  std::vector<char> seen(shards, 0);
+  for (const ShardManifest& m : manifests) {
+    const std::string who = "shard " + std::to_string(m.shard);
+    if (m.shards != shards) return who + ": inconsistent shard count";
+    if (m.shard >= shards) return who + ": index out of range";
+    if (seen[m.shard]) return who + ": covered twice";
+    seen[m.shard] = 1;
+    if (m.fingerprint != plan.fingerprint())
+      return who + ": grid fingerprint mismatch (manifest " + m.fingerprint +
+             ", plan " + plan.fingerprint() + ")";
+    const auto [lo, hi] = plan.shard_cells(m.shard, shards);
+    if (m.cell_lo != lo || m.cell_hi != hi)
+      return who + ": unexpected cell range [" + std::to_string(m.cell_lo) +
+             ", " + std::to_string(m.cell_hi) + "), want [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + ")";
+    for (std::size_t c = lo; c < hi; ++c)
+      if (m.keys[c - lo] != plan.cell_key(c))
+        return who + ": key mismatch at cell " + std::to_string(c);
+  }
+  return "";
+}
+
+std::vector<ShardRun> run_shard_jobs(
+    unsigned shards, unsigned workers, unsigned max_attempts,
+    const std::function<int(unsigned)>& launch) {
+  std::vector<ShardRun> runs(shards);
+  for (unsigned i = 0; i < shards; ++i) runs[i].shard = i;
+  if (shards == 0) return runs;
+  if (workers == 0) workers = 1;
+  if (workers > shards) workers = shards;
+  if (max_attempts == 0) max_attempts = 1;
+
+  std::mutex mutex;
+  std::deque<unsigned> queue;
+  for (unsigned i = 0; i < shards; ++i) queue.push_back(i);
+
+  // A worker exits when it finds the queue empty. A shard re-enqueued by
+  // a *different* still-running worker is always picked up by that worker's
+  // own next loop iteration at the latest, so no work is ever lost — the
+  // only cost of the simple exit condition is tail parallelism.
+  auto worker = [&] {
+    for (;;) {
+      unsigned shard;
+      {
+        std::lock_guard lock(mutex);
+        if (queue.empty()) return;
+        shard = queue.front();
+        queue.pop_front();
+      }
+      int code = -1;
+      try {
+        code = launch(shard);
+      } catch (const std::exception&) {
+        code = -1;
+      }
+      {
+        std::lock_guard lock(mutex);
+        ShardRun& run = runs[shard];
+        ++run.attempts;
+        run.exit_code = code;
+        if (code != 0 && static_cast<unsigned>(run.attempts) < max_attempts)
+          queue.push_back(shard);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return runs;
+}
+
+}  // namespace hxmesh::engine

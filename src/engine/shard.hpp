@@ -1,0 +1,92 @@
+// Sharded grid execution: split one GridPlan across N worker processes.
+//
+// A shard is a contiguous block of the plan's cell index space. Each
+// worker executes its block with ExperimentHarness::run_cells, which
+// stores every computed cell into the shared content-addressed
+// ResultCache, and then writes a small JSON manifest naming the cells it
+// covered. The cache is the wire format: merging is just re-reading the
+// full plan through the cache (every cell hits), so a merged sharded run
+// renders byte-identical rows to a single-process run. The manifest layer
+// exists to make coverage checkable — a merge refuses to proceed unless
+// the manifests prove that every cell of this exact grid (by fingerprint)
+// was covered exactly once.
+//
+// The orchestrator half (run_shard_jobs) is process-agnostic: it drives
+// any launcher callback with a bounded worker pool and per-shard retries.
+// The CLI wires it to fork/exec'd `hxmesh shard` children today; pointing
+// the launcher at remote hosts is the designed-for next step and touches
+// nothing else in this layer.
+#pragma once
+
+/// \file
+/// \brief Sharded grid execution: shard manifests, single-shard
+/// execution, merge verification, and the retrying shard orchestrator.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/grid_plan.hpp"
+#include "engine/harness.hpp"
+
+namespace hxmesh::engine {
+
+/// \brief What one shard covered: the cell range, its cache keys, and the
+/// session hit/computed split. Serialized as one JSON file per shard.
+struct ShardManifest {
+  /// Manifest format version; bump when fields change meaning.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string fingerprint;        ///< GridPlan::fingerprint of the grid
+  unsigned shard = 0;             ///< this shard's index, in [0, shards)
+  unsigned shards = 1;            ///< total shard count of the partition
+  std::uint64_t cell_lo = 0;      ///< first covered cell (inclusive)
+  std::uint64_t cell_hi = 0;      ///< one past the last covered cell
+  std::uint64_t hits = 0;         ///< cells served from the cache
+  std::uint64_t computed = 0;     ///< cells simulated and stored
+  std::vector<std::string> keys;  ///< cache key of every covered cell
+};
+
+/// \brief Renders a manifest as its canonical JSON document.
+std::string render_manifest(const ShardManifest& manifest);
+
+/// \brief Parses a manifest document.
+/// \throws std::invalid_argument on malformed input or a schema mismatch.
+ShardManifest parse_manifest(const std::string& text);
+
+/// \brief Executes shard `shard` of `shards` of `plan`: runs the shard's
+/// cell block through `harness` with `cache` (storing every miss) and
+/// returns the manifest describing the coverage.
+ShardManifest run_shard(ExperimentHarness& harness, const GridPlan& plan,
+                        unsigned shard, unsigned shards, ResultCache& cache);
+
+/// \brief Checks that `manifests` together cover `plan` exactly.
+///
+/// Verifies shard count consistency, the presence of every shard index
+/// exactly once, matching fingerprints, the expected cell ranges, and that
+/// each manifest's keys equal the plan's keys for its range. Returns an
+/// empty string when the merge is sound, else a human-readable reason.
+std::string merge_error(const GridPlan& plan,
+                        const std::vector<ShardManifest>& manifests);
+
+/// \brief Outcome of driving one shard through the orchestrator.
+struct ShardRun {
+  unsigned shard = 0;  ///< shard index
+  int attempts = 0;    ///< launch attempts consumed (>= 1)
+  int exit_code = -1;  ///< last launcher exit code (0 = success)
+};
+
+/// \brief Drives `launch(shard)` for every shard over `workers` concurrent
+/// slots, retrying failures.
+///
+/// `launch` returns a process-style exit code; nonzero outcomes are
+/// retried until the shard succeeds or has consumed `max_attempts`
+/// launches. A launcher that throws counts as exit code -1 for that
+/// attempt. Returns one ShardRun per shard, indexed by shard. The launcher
+/// must be thread-safe: up to `workers` invocations run concurrently.
+std::vector<ShardRun> run_shard_jobs(unsigned shards, unsigned workers,
+                                     unsigned max_attempts,
+                                     const std::function<int(unsigned)>& launch);
+
+}  // namespace hxmesh::engine

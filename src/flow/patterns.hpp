@@ -4,6 +4,10 @@
 // packet-level simulator, future backends) knows how to execute.
 #pragma once
 
+/// \file
+/// \brief Traffic patterns and the engine-agnostic TrafficSpec scenario
+/// descriptor, including its canonical spec-string grammar.
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -71,15 +75,16 @@ std::string pattern_name(const TrafficSpec& spec);
 /// This string is what the result cache hashes as the pattern axis.
 std::string pattern_spec(const TrafficSpec& spec);
 
-/// Parses a pattern spec string: a head ("shift[:<k>]", "perm[:<seed>]",
-/// "ring[:uni]", "alltoall[:<samples>]", "allreduce[:torus]") followed by
+/// Parses a pattern spec string: a head (`shift[:K]`, `perm[:SEED]`,
+/// `ring[:uni]`, `alltoall[:SAMPLES]`, `allreduce[:torus]`) followed by
 /// ':'-separated options:
-///   msg=<size>      message_bytes; <size> is an integer with an optional
-///                   KiB/MiB/GiB/KB/MB/GB suffix ("alltoall:msg=1MiB")
-///   seed=<n>        any kind (permutation draw / path sampling)
-///   samples=<n>     alltoall only
-///   ranks=<a,b,..>  ring only: explicit cyclic order
-/// Throws std::invalid_argument on unknown syntax, naming the bad token.
+///   - `msg=SIZE` — message_bytes; SIZE is an integer with an optional
+///     KiB/MiB/GiB/KB/MB/GB suffix (`alltoall:msg=1MiB`)
+///   - `seed=N` — any kind (permutation draw / path sampling)
+///   - `samples=N` — alltoall only
+///   - `ranks=A,B,...` — ring only: explicit cyclic order
+///
+/// \throws std::invalid_argument on unknown syntax, naming the bad token.
 TrafficSpec parse_traffic(const std::string& text);
 
 /// One human-readable grammar line per pattern head (the CLI's `ls`).

@@ -10,6 +10,11 @@
 // of injection bandwidth.
 #pragma once
 
+/// \file
+/// \brief Topology — the base class of every network family (HammingMesh,
+/// fat tree, Dragonfly, HyperX, torus), modeling one network plane with a
+/// thread-safe BFS routing oracle.
+
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -193,6 +194,117 @@ TEST(Cli, SweepWithoutAxesFails) {
   auto r = run({"sweep", "--pattern", "perm"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--topo"), std::string::npos);
+}
+
+TEST(Cli, SweepShardsRequireTheCache) {
+  auto r = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern",
+                "perm:msg=64KiB", "--shards", "2", "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--shards needs the result cache"), std::string::npos);
+
+  EXPECT_EQ(run({"shard", "--topo", "hx2mesh:2x2", "--pattern", "perm",
+                 "--shards", "2", "--shard", "2"})
+                .code,
+            2);  // --shard out of range
+  EXPECT_EQ(run({"shard", "--topo", "hx2mesh:2x2", "--pattern", "perm",
+                 "--shard", "0"})
+                .code,
+            2);  // missing --shards
+  EXPECT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern", "perm",
+                 "--shards", "2", "--no-cache"})
+                .code,
+            2);  // run does not shard
+
+  // A value that would wrap the narrowing cast must error, not become 0
+  // shards (which would silently fall back to a single-process sweep).
+  auto wrapped = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern", "perm",
+                      "--shards", "4294967296", "--no-cache"});
+  EXPECT_EQ(wrapped.code, 2);
+  EXPECT_NE(wrapped.err.find("out of range"), std::string::npos);
+}
+
+TEST(Cli, GridsConfigRejectsAxisFlags) {
+  const std::string dir = fresh_dir("cli_grids_conflict");
+  ensure_dir(dir);
+  const std::string config = dir + "/grids.json";
+  write_file_atomic(config,
+                    R"({"grids": [{"topologies": ["hx2mesh:2x2"],
+                                   "patterns": ["perm:msg=64KiB"]}]})");
+  auto r = run({"sweep", "--config", config, "--topo", "torus:4x4",
+                "--no-cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot be combined with axis flags"),
+            std::string::npos);
+  // And run never accepts a grids config.
+  EXPECT_EQ(run({"run", "--config", config, "--no-cache"}).code, 2);
+}
+
+// End-to-end orchestration: fork/exec real `hxmesh shard` workers. Needs
+// the installed binary's path, which ctest provides via HXMESH_EXE.
+TEST(Cli, SweepShardedViaSubprocessesMatchesSingleProcess) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  const std::string dir = fresh_dir("cli_sharded_sweep");
+  ensure_dir(dir);
+  const std::vector<std::string> grid = {
+      "--topo",    "hx2mesh:2x2",      "--topo",    "torus:4x4",
+      "--pattern", "perm:msg=64KiB",   "--pattern", "shift:2:msg=64KiB",
+      "--seed",    "1",                "--seed",    "2",
+      "--threads", "2"};
+
+  auto with = [&](std::vector<std::string> args,
+                  const std::vector<std::string>& extra) {
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  };
+  auto single = run(with({"sweep"}, with(grid, {"--no-cache"})));
+  ASSERT_EQ(single.code, 0) << single.err;
+
+  const std::vector<std::string> sharded_args = with(
+      {"sweep"}, with(grid, {"--shards", "3", "--workers", "2", "--cache-dir",
+                             dir + "/cache"}));
+  auto sharded = run(sharded_args);
+  ASSERT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(sharded.out, single.out);
+  EXPECT_NE(sharded.err.find("shards: 3 ok"), std::string::npos)
+      << sharded.err;
+  EXPECT_NE(sharded.err.find("0 hits, 8 computed"), std::string::npos)
+      << sharded.err;
+
+  // Re-running the sharded sweep is a pure cache replay.
+  auto warm = run(sharded_args);
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(warm.out, single.out);
+  EXPECT_NE(warm.err.find("8 hits, 0 computed"), std::string::npos)
+      << warm.err;
+}
+
+TEST(Cli, CachePruneEvictsByCountAndRejectsBadFlags) {
+  const std::string dir = fresh_dir("cli_cache_prune");
+  for (const char* pattern : {"shift:1:msg=64KiB", "shift:2:msg=64KiB",
+                              "shift:3:msg=64KiB"})
+    ASSERT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern", pattern,
+                   "--threads", "1", "--cache-dir", dir})
+                  .code,
+              0);
+
+  auto pruned = run({"cache", "prune", "--max-entries", "1", "--cache-dir",
+                     dir});
+  EXPECT_EQ(pruned.code, 0);
+  EXPECT_NE(pruned.out.find("pruned 2 entries (1 kept)"), std::string::npos)
+      << pruned.out;
+
+  // A generous age bound keeps the survivor.
+  auto aged = run({"cache", "prune", "--max-age", "7d", "--cache-dir", dir});
+  EXPECT_NE(aged.out.find("pruned 0 entries (1 kept)"), std::string::npos)
+      << aged.out;
+
+  EXPECT_EQ(run({"cache", "prune", "--cache-dir", dir}).code, 2);
+  EXPECT_EQ(run({"cache", "prune", "--max-age", "7w", "--cache-dir", dir})
+                .code,
+            2);
 }
 
 TEST(Cli, CacheStatsAndClear) {

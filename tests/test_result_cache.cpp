@@ -3,6 +3,7 @@
 // harness rows, corrupt-entry fallback, and the cached run_grid path.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 
 #include "core/fsio.hpp"
@@ -201,6 +202,70 @@ TEST(ResultCache, StatsAndClear) {
   EXPECT_GT(stats.bytes, 0u);
   EXPECT_EQ(cache.clear(), 2u);
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, PruneEvictsByAgeThenLeastRecentlyUsed) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_dir("cache_prune");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  cache.store("aaaa", result);
+  cache.store("bbbb", result);
+  cache.store("cccc", result);
+  cache.store("dddd", result);
+
+  // Backdate two entries: cccc by ~2 days, dddd by ~10 days.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(dir + "/cccc.json", now - std::chrono::hours(48));
+  fs::last_write_time(dir + "/dddd.json", now - std::chrono::hours(240));
+
+  // Age bound of 7 days only evicts dddd.
+  auto pruned = cache.prune(std::int64_t{7} * 86400, std::nullopt);
+  EXPECT_EQ(pruned.removed, 1u);
+  EXPECT_EQ(pruned.kept, 3u);
+  EXPECT_FALSE(fs::exists(dir + "/dddd.json"));
+  EXPECT_TRUE(fs::exists(dir + "/cccc.json"));
+
+  // A load() refreshes an entry's position in the LRU order: after using
+  // cccc, a max-entries prune evicts one of the untouched entries instead.
+  ASSERT_TRUE(cache.load("cccc").has_value());
+  pruned = cache.prune(std::nullopt, std::size_t{2});
+  EXPECT_EQ(pruned.removed, 1u);
+  EXPECT_EQ(pruned.kept, 2u);
+  EXPECT_TRUE(fs::exists(dir + "/cccc.json"));
+
+  // No bounds violated: nothing to do.
+  pruned = cache.prune(std::int64_t{7} * 86400, std::size_t{10});
+  EXPECT_EQ(pruned.removed, 0u);
+  EXPECT_EQ(pruned.kept, 2u);
+}
+
+TEST(ResultCache, ClearAndPruneReclaimShardMetadata) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_dir("cache_shard_meta");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  cache.store("aaaa", result);
+
+  // Simulate a sharded sweep's leftovers: a grid handoff + a manifest.
+  ensure_dir(cache.shard_meta_dir());
+  write_file_atomic(cache.shard_meta_dir() + "/fp.grid.json", "{}");
+  write_file_atomic(cache.shard_meta_dir() + "/fp.0-of-2.json", "{}");
+
+  // An age-bounded prune ages shard metadata out on the same cutoff
+  // (counted in neither removed nor kept — they are not entries).
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(cache.shard_meta_dir() + "/fp.grid.json",
+                      now - std::chrono::hours(240));
+  const auto pruned = cache.prune(std::int64_t{7} * 86400, std::nullopt);
+  EXPECT_EQ(pruned.removed, 0u);
+  EXPECT_EQ(pruned.kept, 1u);
+  EXPECT_FALSE(fs::exists(cache.shard_meta_dir() + "/fp.grid.json"));
+  EXPECT_TRUE(fs::exists(cache.shard_meta_dir() + "/fp.0-of-2.json"));
+
+  // clear() reclaims the whole metadata tree alongside the entries.
+  EXPECT_EQ(cache.clear(), 1u);
+  EXPECT_FALSE(fs::exists(cache.shard_meta_dir()));
 }
 
 }  // namespace
