@@ -6,6 +6,9 @@
 #include "alloc/experiments.hpp"
 #include "collectives/hamiltonian.hpp"
 #include "engine/harness.hpp"
+#include "flow/flow_sim.hpp"
+#include "flow/patterns.hpp"
+#include "sim/packet_sim.hpp"
 #include "sim/event_queue.hpp"
 #include "topo/fattree.hpp"
 #include "topo/hammingmesh.hpp"
@@ -13,16 +16,29 @@
 using namespace hxmesh;
 
 static void BM_EventQueue(benchmark::State& state) {
+  // Steady-state hold model — the packet simulator's access pattern: ~1k
+  // events in flight, and every dispatched event schedules a successor a
+  // bounded delay into the future. Exercises the typed schedule/pop API
+  // the simulator dispatches on (and, before it, the calendar buckets'
+  // push/scan/advance machinery).
+  constexpr std::uint32_t kInFlight = 1024;
+  constexpr std::uint64_t kPops = 100000;
   for (auto _ : state) {
     sim::EventQueue q;
-    long counter = 0;
-    for (int i = 0; i < 10000; ++i)
-      q.schedule(static_cast<picoseconds>((i * 2654435761u) % 100000),
-                 [&counter] { ++counter; });
-    q.run();
-    benchmark::DoNotOptimize(counter);
+    for (std::uint32_t i = 0; i < kInFlight; ++i)
+      q.schedule(static_cast<picoseconds>((i * 2654435761u) % 4096),
+                 sim::EventKind::kUserCallback, i);
+    std::uint64_t pops = 0, sum = 0;
+    while (!q.empty()) {
+      sim::Event e = q.pop();
+      sum += e.a;
+      if (++pops < kPops)
+        q.schedule_in((e.a * 2654435761u + pops) % 4096,
+                      sim::EventKind::kUserCallback, e.a);
+    }
+    benchmark::DoNotOptimize(sum);
   }
-  state.SetItemsProcessed(state.iterations() * 10000);
+  state.SetItemsProcessed(state.iterations() * kPops);
 }
 BENCHMARK(BM_EventQueue);
 
@@ -52,6 +68,42 @@ static void BM_FlowEngineShift(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowEngineShift);
+
+static void BM_FlowSolverAlltoallLarge(benchmark::State& state) {
+  // Two shift rounds of the balanced alltoall on the paper's 16384-
+  // accelerator Hx2Mesh, solved exactly as FlowEngine::run_alltoall
+  // solves its sampled ensemble (one flow set per shift): the shape that
+  // dominates hx2mesh:64x64 sweep cells.
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  flow::FlowSolver solver(hx);
+  const int n = hx.num_endpoints();
+  for (auto _ : state) {
+    for (int shift : {1365, 8191}) {
+      auto flows = flow::shift_pattern(n, shift);
+      solver.solve(flows);
+      benchmark::DoNotOptimize(flows.front().rate);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_FlowSolverAlltoallLarge);
+
+static void BM_PacketForwardHeavy(benchmark::State& state) {
+  // try_forward-dominated run: every endpoint keeps four distant messages
+  // in flight, so switches arbitrate full input buffers the whole time.
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  const int n = hx.num_endpoints();
+  for (auto _ : state) {
+    sim::PacketSim sim(hx);
+    for (int i = 0; i < n; ++i)
+      for (int k : {5, 17, 29, 41})
+        sim.send_message(i, (i + k) % n, 32 * KiB, nullptr);
+    sim.run();
+    benchmark::DoNotOptimize(sim.stats().packets_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_PacketForwardHeavy);
 
 static void BM_BfsDistanceField(benchmark::State& state) {
   topo::FatTree ft({.num_endpoints = 1024});

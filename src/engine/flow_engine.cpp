@@ -62,6 +62,9 @@ RunResult FlowEngine::run_alltoall(const flow::TrafficSpec& spec) {
   RunResult result;
   std::vector<double> rates;
   int stride = std::max(1, (n - 1) / std::max(1, spec.samples));
+  // One rate per endpoint per sampled shift; at hx2mesh:64x64 scale the
+  // reserve keeps the ensemble loop from re-growing a multi-MB vector.
+  rates.reserve(static_cast<std::size_t>((n - 2) / stride + 1) * n);
   for (int shift = 1; shift < n; shift += stride) {
     auto flows = flow::shift_pattern(n, shift);
     solver_.solve(flows);

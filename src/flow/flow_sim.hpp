@@ -4,9 +4,14 @@
 // demand. Each flow is spread over `paths_per_flow` randomly sampled minimal
 // paths (approximating the packet-level adaptive routing the paper assumes);
 // progressive filling then raises all subflow rates together, freezing
-// subflows as links saturate. This reproduces the steady-state bandwidth
-// numbers of Table II and Figures 11-13/17 for large messages; the
-// packet-level simulator (src/sim) cross-validates it at small scale.
+// subflows as links saturate. The filling is incremental — each round
+// touches only the links still crossed by unfrozen subflows, and a
+// saturating link freezes exactly its crossers through a link->subflows
+// index — but produces bit-identical rates to the classic full-rescan
+// formulation (tests/test_determinism.cpp keeps that reference alive).
+// This reproduces the steady-state bandwidth numbers of Table II and
+// Figures 11-13/17 for large messages; the packet-level simulator
+// (src/sim) cross-validates it at small scale.
 #pragma once
 
 #include <vector>

@@ -10,6 +10,17 @@ using topo::NodeId;
 PacketSim::PacketSim(const topo::Topology& topology, PacketSimConfig config)
     : topology_(topology), config_(config) {
   const topo::Graph& g = topology_.graph();
+  routes_.resize(g.num_nodes());
+  vc_bump_.resize(g.num_links());
+  for (std::size_t l = 0; l < g.num_links(); ++l) {
+    // VC escalates when an accelerator injects into a switch network (a
+    // board jumping into a rail/fat tree, Section IV-C3). On-board
+    // accelerator-to-accelerator hops and switch-to-switch hops keep
+    // their VC.
+    const topo::Link& lnk = g.link(static_cast<LinkId>(l));
+    vc_bump_[l] = g.kind(lnk.src) == topo::NodeKind::kEndpoint &&
+                  g.kind(lnk.dst) == topo::NodeKind::kSwitch;
+  }
   link_busy_until_.assign(g.num_links(), 0);
   link_bytes_.assign(g.num_links(), 0);
   credits_.assign(g.num_links() * config_.num_vcs,
@@ -23,16 +34,29 @@ PacketSim::PacketSim(const topo::Topology& topology, PacketSimConfig config)
   inject_queue_.resize(topology_.num_endpoints());
 }
 
-int PacketSim::vc_after(const Packet& p, LinkId link) const {
-  // VC escalates when an accelerator injects into a switch network (a board
-  // jumping into a rail/fat tree, Section IV-C3). On-board accelerator-to-
-  // accelerator hops and switch-to-switch hops keep their VC.
+const PacketSim::RouteTable& PacketSim::route_to(NodeId dst_node) {
+  std::unique_ptr<RouteTable>& slot = routes_[dst_node];
+  if (slot) return *slot;
+  // Build the minimal next-hop candidates of every node toward dst once;
+  // the per-decision loops then scan a short flat array. Candidate order
+  // is the graph's out-link order, exactly what the per-decision dist
+  // filter used to yield.
+  auto table = std::make_unique<RouteTable>();
+  table->dist = topology_.dist_field(dst_node);
+  const std::vector<std::int32_t>& dist = *table->dist;
   const topo::Graph& g = topology_.graph();
-  const topo::Link& l = g.link(link);
-  if (g.kind(l.src) == topo::NodeKind::kEndpoint &&
-      g.kind(l.dst) == topo::NodeKind::kSwitch)
-    return std::min<int>(p.vc + 1, config_.num_vcs - 1);
-  return p.vc;
+  table->offset.resize(g.num_nodes() + 1, 0);
+  table->links.reserve(g.num_links() / 2);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    table->offset[n] = static_cast<std::uint32_t>(table->links.size());
+    if (dist[n] > 0)
+      for (LinkId l : g.out_links(n))
+        if (dist[g.link(l).dst] == dist[n] - 1) table->links.push_back(l);
+  }
+  table->offset[g.num_nodes()] =
+      static_cast<std::uint32_t>(table->links.size());
+  slot = std::move(table);
+  return *slot;
 }
 
 void PacketSim::send_message(int src, int dst, std::uint64_t bytes,
@@ -50,32 +74,48 @@ void PacketSim::send_message(int src, int dst, std::uint64_t bytes,
   try_inject(src);
 }
 
+void PacketSim::schedule_in(picoseconds delay, std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!free_callbacks_.empty()) {
+    slot = free_callbacks_.back();
+    free_callbacks_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(fn));
+  }
+  events_.schedule_in(delay, EventKind::kUserCallback, slot);
+}
+
 void PacketSim::try_inject(int src) {
-  const topo::Graph& g = topology_.graph();
   NodeId node = topology_.endpoint_node(src);
   auto& queue = inject_queue_[src];
   while (!queue.empty()) {
-    Message& m = messages_[queue.front()];
+    const std::uint32_t mid = queue.front();
+    Message& m = messages_[mid];
+    assert(m.packets_injected <= m.packets_total &&
+           "try_inject: injected more packets than the message has");
     if (m.packets_injected == m.packets_total) {
       queue.pop_front();
       continue;
     }
-    NodeId dst_node = topology_.endpoint_node(m.dst);
-    const auto& dist = dist_to(dst_node);
+    // Per-message state, hoisted once the head message is known to still
+    // need packets: destination, candidate hops, and this packet's size.
+    const NodeId dst_node = topology_.endpoint_node(m.dst);
+    const std::uint64_t remaining =
+        m.bytes - m.packets_injected * config_.packet_bytes;
+    const std::uint32_t pkt_bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.packet_bytes, remaining));
+    const RouteTable& rt = route_to(dst_node);
     // Adaptive injection: among minimal next hops that are free and have
     // credit, pick the one with the most downstream buffer space.
     LinkId best = topo::kInvalidLink;
     int best_vc = 0;
     std::uint64_t best_credit = 0;
-    std::uint64_t remaining =
-        m.bytes - m.packets_injected * config_.packet_bytes;
-    std::uint32_t pkt_bytes = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(config_.packet_bytes, remaining));
-    for (LinkId l : g.out_links(node)) {
-      if (dist[g.link(l).dst] != dist[node] - 1) continue;
+    for (std::uint32_t i = rt.offset[node]; i < rt.offset[node + 1]; ++i) {
+      LinkId l = rt.links[i];
       if (link_busy_until_[l] > events_.now()) continue;
-      Packet probe{0, pkt_bytes, dst_node, 0, 0, 0};
-      int vc = vc_after(probe, l);
+      int vc = vc_bump_[l] ? std::min<int>(1, config_.num_vcs - 1) : 0;
       if (credits(l, vc) < pkt_bytes) continue;
       if (credits(l, vc) > best_credit) {
         best = l;
@@ -94,7 +134,7 @@ void PacketSim::try_inject(int src) {
       pid = static_cast<std::uint32_t>(packets_.size() - 1);
     }
     Packet& p = packets_[pid];
-    p.message = queue.front();
+    p.message = mid;
     p.bytes = pkt_bytes;
     p.dst_node = dst_node;
     p.vc = static_cast<std::uint8_t>(best_vc);
@@ -117,51 +157,66 @@ void PacketSim::start_transmission(std::uint32_t packet_id, LinkId link) {
   picoseconds ser = serialization_ps(p.bytes, l.bandwidth_bps);
   picoseconds free_at = events_.now() + ser;
   link_busy_until_[link] = free_at;
-  NodeId src_node = l.src;
-  events_.schedule(free_at, [this, src_node] {
-    try_forward(src_node);
-    int rank = topology_.rank_of(src_node);
-    if (rank >= 0) try_inject(rank);
-  });
+  events_.schedule(free_at, EventKind::kLinkFree, l.src);
 
   picoseconds arrive_at = free_at + l.latency_ps + config_.switch_latency_ps;
-  events_.schedule(arrive_at, [this, packet_id, link] {
-    Packet& pkt = packets_[packet_id];
-    const topo::Link& lnk = topology_.graph().link(link);
-    ++pkt.hops;
-    if (lnk.dst == pkt.dst_node) {
-      // Delivered: the endpoint consumes instantly; return the credit.
-      Message& m = messages_[pkt.message];
-      m.bytes_delivered += pkt.bytes;
-      ++stats_.packets_delivered;
-      stats_.packet_hops += pkt.hops;
-      stats_.sum_packet_latency_s +=
-          ps_to_s(events_.now() - pkt.injected_at);
-      std::uint32_t bytes = pkt.bytes;
-      int vc = pkt.vc;
-      free_packets_.push_back(packet_id);
-      events_.schedule_in(lnk.latency_ps, [this, link, vc, bytes] {
-        credits(link, vc) += bytes;
-        NodeId n = topology_.graph().link(link).src;
-        try_forward(n);
-        int rank = topology_.rank_of(n);
-        if (rank >= 0) try_inject(rank);
-      });
-      if (m.bytes_delivered >= m.bytes) {
-        ++stats_.messages_delivered;
-        --unfinished_;
-        if (m.on_delivered) m.on_delivered();
+  events_.schedule(arrive_at, EventKind::kPacketArrive, packet_id, link);
+}
+
+void PacketSim::on_link_free(NodeId src_node) {
+  try_forward(src_node);
+  int rank = topology_.rank_of(src_node);
+  if (rank >= 0) try_inject(rank);
+}
+
+void PacketSim::on_credit_return(LinkId link, int vc, std::uint32_t bytes) {
+  credits(link, vc) += bytes;
+  NodeId n = topology_.graph().link(link).src;
+  try_forward(n);
+  int rank = topology_.rank_of(n);
+  if (rank >= 0) try_inject(rank);
+}
+
+void PacketSim::on_packet_arrive(std::uint32_t packet_id, LinkId link) {
+  Packet& pkt = packets_[packet_id];
+  const topo::Link& lnk = topology_.graph().link(link);
+  ++pkt.hops;
+  if (lnk.dst == pkt.dst_node) {
+    // Delivered: the endpoint consumes instantly; return the credit.
+    Message& m = messages_[pkt.message];
+    m.bytes_delivered += pkt.bytes;
+    ++stats_.packets_delivered;
+    stats_.packet_hops += pkt.hops;
+    stats_.sum_packet_latency_s += ps_to_s(events_.now() - pkt.injected_at);
+    free_packets_.push_back(packet_id);
+    events_.schedule_in(lnk.latency_ps, EventKind::kCreditReturn, link,
+                        static_cast<std::uint32_t>(pkt.vc), pkt.bytes);
+    if (m.bytes_delivered >= m.bytes) {
+      ++stats_.messages_delivered;
+      --unfinished_;
+      if (m.on_delivered) {
+        // Move the callback out first: it may send_message(), and the
+        // resulting messages_ reallocation would free the closure's
+        // storage mid-call if it still lived inside the vector.
+        std::function<void()> done = std::move(m.on_delivered);
+        done();
       }
-      return;
     }
-    input_[static_cast<std::size_t>(link) * config_.num_vcs + pkt.vc]
-        .queue.push_back(packet_id);
-    try_forward(lnk.dst);
-  });
+    return;
+  }
+  input_[static_cast<std::size_t>(link) * config_.num_vcs + pkt.vc]
+      .queue.push_back(packet_id);
+  try_forward(lnk.dst);
+}
+
+void PacketSim::on_user_callback(std::uint32_t slot) {
+  std::function<void()> fn = std::move(callbacks_[slot]);
+  callbacks_[slot] = nullptr;
+  free_callbacks_.push_back(slot);
+  fn();
 }
 
 void PacketSim::try_forward(NodeId node) {
-  const topo::Graph& g = topology_.graph();
   const auto& ins = in_links_[node];
   if (ins.empty()) return;
   const std::uint32_t slots =
@@ -176,12 +231,12 @@ void PacketSim::try_forward(NodeId node) {
     if (buf.queue.empty()) continue;
     std::uint32_t pid = buf.queue.front();
     Packet& p = packets_[pid];
-    const auto& dist = dist_to(p.dst_node);
+    const RouteTable& rt = route_to(p.dst_node);
     LinkId best = topo::kInvalidLink;
     int best_vc = 0;
     std::uint64_t best_credit = 0;
-    for (LinkId l : g.out_links(node)) {
-      if (dist[g.link(l).dst] != dist[node] - 1) continue;
+    for (std::uint32_t i = rt.offset[node]; i < rt.offset[node + 1]; ++i) {
+      LinkId l = rt.links[i];
       if (link_busy_until_[l] > events_.now()) continue;
       int vc = vc_after(p, l);
       if (credits(l, vc) < p.bytes) continue;
@@ -196,20 +251,34 @@ void PacketSim::try_forward(NodeId node) {
     buf.queue.pop_front();
     rr_[node] = slot + 1;  // fairness: resume after the serviced buffer
     // Return the input-buffer credit to the upstream sender.
-    std::uint32_t bytes = p.bytes;
-    const topo::Link& in = g.link(in_link);
-    events_.schedule_in(in.latency_ps, [this, in_link, in_vc, bytes] {
-      credits(in_link, in_vc) += bytes;
-      NodeId n = topology_.graph().link(in_link).src;
-      try_forward(n);
-      int rank = topology_.rank_of(n);
-      if (rank >= 0) try_inject(rank);
-    });
+    const topo::Link& in = topology_.graph().link(in_link);
+    events_.schedule_in(in.latency_ps, EventKind::kCreditReturn, in_link,
+                        static_cast<std::uint32_t>(in_vc), p.bytes);
     p.vc = static_cast<std::uint8_t>(best_vc);
     start_transmission(pid, best);
   }
 }
 
-picoseconds PacketSim::run() { return events_.run(); }
+picoseconds PacketSim::run() {
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    switch (e.kind) {
+      case EventKind::kLinkFree:
+        on_link_free(static_cast<NodeId>(e.a));
+        break;
+      case EventKind::kPacketArrive:
+        on_packet_arrive(e.a, static_cast<LinkId>(e.b));
+        break;
+      case EventKind::kCreditReturn:
+        on_credit_return(static_cast<LinkId>(e.a), static_cast<int>(e.b),
+                         e.c);
+        break;
+      case EventKind::kUserCallback:
+        on_user_callback(e.a);
+        break;
+    }
+  }
+  return events_.now();
+}
 
 }  // namespace hxmesh::sim

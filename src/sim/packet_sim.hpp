@@ -11,6 +11,14 @@
 // accelerator into a switch (board -> rail in HammingMesh), which caps at
 // three VCs exactly as Section IV-C3 prescribes.
 //
+// Hot-path design: the event queue carries typed tagged-union events
+// (nothing heap-allocates per packet), routing decisions walk precomputed
+// per-destination next-hop candidate tables instead of filtering all
+// out-links through a distance field, and the per-link VC escalation rule
+// is a flat bool array. All of it is observationally identical to the
+// straightforward implementation — same event order, same tie-breaks,
+// same delivered-byte sequence — only faster.
+//
 // Messages are sequences of packets; the caller gets a callback when the
 // last byte of a message arrives. Payload bytes are not simulated — timing
 // is bandwidth/latency-accurate, contents travel with the message object
@@ -20,7 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -64,13 +72,13 @@ class PacketSim {
                     std::function<void()> on_delivered);
 
   /// Schedules `fn` at simulated time `now + delay` (for compute phases).
-  void schedule_in(picoseconds delay, std::function<void()> fn) {
-    events_.schedule_in(delay, std::move(fn));
-  }
+  /// User callbacks live in a side table; the event itself carries only the
+  /// slot index, so the typed event core stays allocation-free.
+  void schedule_in(picoseconds delay, std::function<void()> fn);
 
-  /// Runs until the event queue drains. Returns the finish time. If
-  /// messages remain undelivered afterwards the network is deadlocked
-  /// (query unfinished_messages()).
+  /// Runs until the event queue drains, dispatching typed events. Returns
+  /// the finish time. If messages remain undelivered afterwards the
+  /// network is deadlocked (query unfinished_messages()).
   picoseconds run();
 
   picoseconds now() const { return events_.now(); }
@@ -101,20 +109,34 @@ class PacketSim {
   struct InputBuffer {
     std::deque<std::uint32_t> queue;  // packet ids
   };
+  // Routing table toward one destination: the minimal next-hop links of
+  // every node, flattened CSR-style. Candidate order matches the graph's
+  // out-link order, so adaptive tie-breaks are identical to filtering the
+  // out-links through the BFS field on every decision.
+  struct RouteTable {
+    topo::Topology::DistField dist;  // pinned: keeps the field alive
+    std::vector<std::uint32_t> offset;  // per node, into links
+    std::vector<topo::LinkId> links;
+  };
 
   void try_inject(int src);
   void try_forward(topo::NodeId node);
+  // Typed-event handlers (dispatched from run()).
+  void on_link_free(topo::NodeId src_node);
+  void on_packet_arrive(std::uint32_t packet_id, topo::LinkId link);
+  void on_credit_return(topo::LinkId link, int vc, std::uint32_t bytes);
+  void on_user_callback(std::uint32_t slot);
+
   // Topology::dist_field is shared across engine threads and pays for a
-  // lock per call; this sim is single-threaded, so it pins the handed-out
-  // fields locally and routes lock-free (one map lookup per decision).
-  const std::vector<std::int32_t>& dist_to(topo::NodeId dst_node) {
-    auto it = dist_local_.find(dst_node);
-    if (it == dist_local_.end())
-      it = dist_local_.emplace(dst_node, topology_.dist_field(dst_node)).first;
-    return *it->second;
-  }
+  // lock per call; this sim is single-threaded, so it pins each handed-out
+  // field in a flat vector indexed by destination node and derives the
+  // per-node candidate-link table from it once, lock-free thereafter.
+  const RouteTable& route_to(topo::NodeId dst_node);
   void start_transmission(std::uint32_t packet_id, topo::LinkId link);
-  int vc_after(const Packet& p, topo::LinkId link) const;
+  int vc_after(const Packet& p, topo::LinkId link) const {
+    return vc_bump_[link] ? std::min<int>(p.vc + 1, config_.num_vcs - 1)
+                          : p.vc;
+  }
   std::uint64_t& credits(topo::LinkId link, int vc) {
     return credits_[static_cast<std::size_t>(link) * config_.num_vcs + vc];
   }
@@ -123,11 +145,20 @@ class PacketSim {
   PacketSimConfig config_;
   EventQueue events_;
   PacketSimStats stats_;
-  std::unordered_map<topo::NodeId, topo::Topology::DistField> dist_local_;
+  // Per-destination routing tables, indexed by destination node (lazy).
+  std::vector<std::unique_ptr<RouteTable>> routes_;
+  // Per-link: does traversing this link escalate the VC (endpoint ->
+  // switch injection, Section IV-C3)?
+  std::vector<std::uint8_t> vc_bump_;
 
   std::vector<Message> messages_;
   std::vector<Packet> packets_;
   std::vector<std::uint32_t> free_packets_;
+
+  // User callbacks (send_message completion is per message, not per
+  // event): slot-indexed side table with free-list reuse.
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<std::uint32_t> free_callbacks_;
 
   std::vector<picoseconds> link_busy_until_;
   std::vector<std::uint64_t> credits_;  // [link][vc], bytes available

@@ -96,7 +96,7 @@ std::string FatTree::name() const {
 }
 
 LinkId FatTree::random_link_between(NodeId a, NodeId b, Rng& rng) const {
-  auto ls = graph_.links_between(a, b);
+  auto ls = graph_.bundle(a, b);
   assert(!ls.empty());
   return ls[rng.uniform(ls.size())];
 }

@@ -1,5 +1,6 @@
 #include "topo/graph.hpp"
 
+#include <algorithm>
 #include <deque>
 
 namespace hxmesh::topo {
@@ -38,6 +39,49 @@ LinkId Graph::find_link(NodeId a, NodeId b) const {
   for (LinkId l : out_[a])
     if (links_[l].dst == b) return l;
   return kInvalidLink;
+}
+
+const Graph::BundleIndex& Graph::bundle_index() const {
+  std::call_once(bundle_once_, [this] {
+    auto idx = std::make_unique<BundleIndex>();
+    idx->node_off.resize(num_nodes() + 1, 0);
+    idx->links.reserve(links_.size());
+    std::vector<std::pair<NodeId, LinkId>> scratch;
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      idx->node_off[n] = static_cast<std::uint32_t>(idx->pair_dst.size());
+      scratch.clear();
+      for (LinkId l : out_[n]) scratch.emplace_back(links_[l].dst, l);
+      // Group by destination, sorted by node id for binary search; the
+      // stable sort keeps parallel links in out-link order, so a bundle
+      // enumerates them exactly as links_between() does.
+      std::stable_sort(scratch.begin(), scratch.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                       });
+      for (std::size_t i = 0; i < scratch.size(); ++i) {
+        if (i == 0 || scratch[i].first != scratch[i - 1].first) {
+          idx->pair_dst.push_back(scratch[i].first);
+          idx->pair_off.push_back(static_cast<std::uint32_t>(idx->links.size()));
+        }
+        idx->links.push_back(scratch[i].second);
+      }
+    }
+    idx->node_off[num_nodes()] = static_cast<std::uint32_t>(idx->pair_dst.size());
+    idx->pair_off.push_back(static_cast<std::uint32_t>(idx->links.size()));
+    bundles_ = std::move(idx);
+  });
+  return *bundles_;
+}
+
+std::span<const LinkId> Graph::bundle(NodeId a, NodeId b) const {
+  const BundleIndex& idx = bundle_index();
+  const auto* first = idx.pair_dst.data() + idx.node_off[a];
+  const auto* last = idx.pair_dst.data() + idx.node_off[a + 1];
+  const auto* it = std::lower_bound(first, last, b);
+  if (it == last || *it != b) return {};
+  const std::size_t pair = static_cast<std::size_t>(it - idx.pair_dst.data());
+  return {idx.links.data() + idx.pair_off[pair],
+          idx.pair_off[pair + 1] - idx.pair_off[pair]};
 }
 
 namespace {

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -69,6 +71,14 @@ class Graph {
   /// All link ids from `a` to `b` (multi-edges included, possibly empty).
   std::vector<LinkId> links_between(NodeId a, NodeId b) const;
 
+  /// Allocation-free links_between: a view of the parallel links a -> b in
+  /// the same order links_between returns them. Served from a lazily built
+  /// per-node bundle index (O(log out-neighbors) lookup), so routing hot
+  /// paths can pick among parallel cables without a heap allocation per
+  /// decision. Thread-safe; the graph must not gain links afterwards (all
+  /// topologies finish construction before routing starts).
+  std::span<const LinkId> bundle(NodeId a, NodeId b) const;
+
   /// First link from `a` to `b`, or kInvalidLink.
   LinkId find_link(NodeId a, NodeId b) const;
 
@@ -80,10 +90,22 @@ class Graph {
   std::vector<std::int32_t> dist_from(NodeId src) const;
 
  private:
+  // Multi-edge index: per source node, the distinct out-neighbors sorted
+  // by node id, each with its parallel links in out-link order.
+  struct BundleIndex {
+    std::vector<std::uint32_t> node_off;  // per node, into pair_dst
+    std::vector<NodeId> pair_dst;         // sorted within each node's range
+    std::vector<std::uint32_t> pair_off;  // per pair, into links
+    std::vector<LinkId> links;
+  };
+  const BundleIndex& bundle_index() const;
+
   std::vector<NodeKind> kinds_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> out_;
   std::vector<std::vector<LinkId>> in_;
+  mutable std::once_flag bundle_once_;
+  mutable std::unique_ptr<BundleIndex> bundles_;
 };
 
 }  // namespace hxmesh::topo

@@ -18,6 +18,27 @@ HammingMesh::HammingMesh(HxMeshParams params) : params_(params) {
 
   for (int i = 0; i < accel_x() * accel_y(); ++i) add_endpoint();
 
+  // Division-free coordinate tables; the per-hop router math indexes these
+  // instead of dividing by runtime board dimensions.
+  gx_of_.resize(num_endpoints());
+  gy_of_.resize(num_endpoints());
+  for (int r = 0; r < num_endpoints(); ++r) {
+    gx_of_[r] = r % accel_x();
+    gy_of_[r] = r / accel_x();
+  }
+  bx_of_gx_.resize(accel_x());
+  ox_of_gx_.resize(accel_x());
+  for (int gx = 0; gx < accel_x(); ++gx) {
+    bx_of_gx_[gx] = gx / a;
+    ox_of_gx_[gx] = gx % a;
+  }
+  by_of_gy_.resize(accel_y());
+  oy_of_gy_.resize(accel_y());
+  for (int gy = 0; gy < accel_y(); ++gy) {
+    by_of_gy_[gy] = gy / b;
+    oy_of_gy_[gy] = gy % b;
+  }
+
   // On-board 2D mesh over PCB traces.
   for (int by = 0; by < y; ++by)
     for (int bx = 0; bx < x; ++bx) {
@@ -54,6 +75,57 @@ HammingMesh::HammingMesh(HxMeshParams params) : params_(params) {
   };
   num_switches_ = physical(x_rails_, x, b, y) + physical(y_rails_, y, a, x);
   finalize();
+  build_route_tables();
+}
+
+void HammingMesh::build_route_tables() {
+  const int a = params_.a, b = params_.b;
+  // On-board mesh steps: the parallel links toward each neighbor.
+  mesh_links_.resize(num_endpoints());
+  for (int r = 0; r < num_endpoints(); ++r) {
+    const int gx = gx_of_[r], gy = gy_of_[r];
+    const NodeId u = endpoint_node(r);
+    auto span_to = [&](int nx, int ny) {
+      return graph_.bundle(u, endpoint_node(rank_at(nx, ny)));
+    };
+    if (ox_of_gx_[gx] + 1 < a) mesh_links_[r][0] = span_to(gx + 1, gy);
+    if (ox_of_gx_[gx] > 0) mesh_links_[r][1] = span_to(gx - 1, gy);
+    if (oy_of_gy_[gy] + 1 < b) mesh_links_[r][2] = span_to(gx, gy + 1);
+    if (oy_of_gy_[gy] > 0) mesh_links_[r][3] = span_to(gx, gy - 1);
+  }
+  // Rail crossings: edge accelerator <-> leaf and leaf <-> spine bundles.
+  for (int dim = 0; dim < 2; ++dim) {
+    const int boards = dim == 0 ? params_.x : params_.y;
+    const int num_lines = dim == 0 ? accel_y() : accel_x();
+    const int n = dim == 0 ? a : b;
+    auto& rp = rail_ports_[dim];
+    rp.resize(num_lines);
+    for (int line = 0; line < num_lines; ++line) {
+      rp[line].resize(static_cast<std::size_t>(boards) * 2);
+      for (int board = 0; board < boards; ++board)
+        for (int side = 0; side < 2; ++side) {
+          int coord = board * n + (side == 0 ? 0 : n - 1);
+          NodeId acc = dim == 0 ? endpoint_node(rank_at(coord, line))
+                                : endpoint_node(rank_at(line, coord));
+          NodeId leaf = leaf_for(dim, line, board);
+          rp[line][static_cast<std::size_t>(board) * 2 + side] = {
+              graph_.bundle(acc, leaf), graph_.bundle(leaf, acc)};
+        }
+    }
+    DimRails& dr = dim == 0 ? x_rails_ : y_rails_;
+    for (Rail& r : dr.rails) {
+      // leaf_idx_of_board was filled alongside leaf_of_board in
+      // build_rails; only the level-crossing cable bundles remain.
+      const std::size_t nl = r.leaves.size(), ns = r.spines.size();
+      r.leaf_to_spine.resize(nl * ns);
+      r.spine_to_leaf.resize(ns * nl);
+      for (std::size_t i = 0; i < nl; ++i)
+        for (std::size_t s = 0; s < ns; ++s) {
+          r.leaf_to_spine[i * ns + s] = graph_.bundle(r.leaves[i], r.spines[s]);
+          r.spine_to_leaf[s * nl + i] = graph_.bundle(r.spines[s], r.leaves[i]);
+        }
+    }
+  }
 }
 
 void HammingMesh::build_rails(int dim) {
@@ -107,6 +179,18 @@ void HammingMesh::build_rails(int dim) {
     }
   }
 
+  // Precompute the leaf of each board index (used per rail crossing);
+  // leaf_of_board is derived from leaf_idx_of_board so the port-to-leaf
+  // mapping lives in exactly one expression.
+  for (Rail& r : dr.rails) {
+    r.leaf_idx_of_board.resize(boards);
+    r.leaf_of_board.resize(boards);
+    for (int board = 0; board < boards; ++board) {
+      r.leaf_idx_of_board[board] = (2 * board) / r.ports_per_leaf;
+      r.leaf_of_board[board] = r.leaves[r.leaf_idx_of_board[board]];
+    }
+  }
+
   // Attach the board edge ports.
   for (int line = 0; line < num_lines; ++line)
     for (int board = 0; board < boards; ++board) {
@@ -147,8 +231,8 @@ int dim_cost(int i, int j, int bi, int bj, int n, int rail) {
 
 int HammingMesh::dist(int src_rank, int dst_rank) const {
   const int a = params_.a, b = params_.b;
-  int is = gx_of(src_rank) % a, id = gx_of(dst_rank) % a;
-  int js = gy_of(src_rank) % b, jd = gy_of(dst_rank) % b;
+  int is = ox_of_gx_[gx_of_[src_rank]], id = ox_of_gx_[gx_of_[dst_rank]];
+  int js = oy_of_gy_[gy_of_[src_rank]], jd = oy_of_gy_[gy_of_[dst_rank]];
   int bxs = board_x_of(src_rank), bxd = board_x_of(dst_rank);
   int bys = board_y_of(src_rank), byd = board_y_of(dst_rank);
   int rail_x = rail_hops(0, gy_of(src_rank), bxs, bxd);
@@ -188,21 +272,20 @@ std::string HammingMesh::name() const {
 }
 
 LinkId HammingMesh::random_link_between(NodeId u, NodeId v, Rng& rng) const {
-  auto ls = graph_.links_between(u, v);
+  auto ls = graph_.bundle(u, v);
   assert(!ls.empty());
   return ls[rng.uniform(ls.size())];
 }
 
 void HammingMesh::emit_rail(int dim, int line, int from_board, int to_board,
-                            NodeId from_acc, NodeId to_acc, int stratum,
-                            Rng& rng, std::vector<LinkId>& out) const {
-  (void)rng;
+                            int from_side, int to_side, int stratum,
+                            std::vector<LinkId>& out) const {
   // Parallel cables (a board edge can attach several links to one switch)
   // are chosen by stratum so a flow's subflows spread over them evenly,
   // like per-packet adaptive spraying would.
-  auto pick = [&](NodeId u, NodeId v) {
-    auto ls = graph_.links_between(u, v);
+  auto pick = [&](std::span<const LinkId> ls) {
     assert(!ls.empty());
+    if (ls.size() == 1) return ls[0];  // skip the modulo on single cables
     // Weyl-hash the stratum: a plain modulo would tie the parallel-cable
     // parity to the spine parity (both derive from stratum), idling half
     // of every leaf-spine bundle.
@@ -210,17 +293,22 @@ void HammingMesh::emit_rail(int dim, int line, int from_board, int to_board,
              0x9e3779b97f4a7c15ull;
     return ls[(h >> 33) % ls.size()];
   };
-  NodeId leaf1 = leaf_for(dim, line, from_board);
-  NodeId leaf2 = leaf_for(dim, line, to_board);
-  out.push_back(pick(from_acc, leaf1));
-  if (leaf1 != leaf2) {
-    const Rail& r = rail_for(dim, line);
-    NodeId spine = r.spines[static_cast<std::size_t>(stratum) %
-                            r.spines.size()];
-    out.push_back(pick(leaf1, spine));
-    out.push_back(pick(spine, leaf2));
+  const auto& ports = rail_ports_[dim][line];
+  const RailPortSpans& from =
+      ports[static_cast<std::size_t>(from_board) * 2 + from_side];
+  const RailPortSpans& to =
+      ports[static_cast<std::size_t>(to_board) * 2 + to_side];
+  const Rail& r = rail_for(dim, line);
+  const int lf = r.leaf_idx_of_board[from_board];
+  const int lt = r.leaf_idx_of_board[to_board];
+  out.push_back(pick(from.to_leaf));
+  if (lf != lt) {
+    const std::size_t spine =
+        static_cast<std::size_t>(stratum) % r.spines.size();
+    out.push_back(pick(r.leaf_to_spine[lf * r.spines.size() + spine]));
+    out.push_back(pick(r.spine_to_leaf[spine * r.leaves.size() + lt]));
   }
-  out.push_back(pick(leaf2, to_acc));
+  out.push_back(pick(to.from_leaf));
 }
 
 void HammingMesh::sample_path(int src, int dst, Rng& rng,
@@ -254,10 +342,10 @@ void HammingMesh::route(int src, int dst, int stratum, Rng& rng,
     int& c = dim == 0 ? gx : gy;
     while (c != target) {
       int step = target > c ? 1 : -1;
-      NodeId u = endpoint_node(rank_at(gx, gy));
-      int nx = dim == 0 ? gx + step : gx;
-      int ny = dim == 0 ? gy : gy + step;
-      out.push_back(random_link_between(u, endpoint_node(rank_at(nx, ny)), rng));
+      int d = dim == 0 ? (step > 0 ? 0 : 1) : (step > 0 ? 2 : 3);
+      auto ls = mesh_links_[rank_at(gx, gy)][d];
+      assert(!ls.empty());
+      out.push_back(ls[rng.uniform(ls.size())]);
       c += step;
     }
   };
@@ -268,31 +356,28 @@ void HammingMesh::route(int src, int dst, int stratum, Rng& rng,
     int& c = dim == 0 ? gx : gy;
     if (c == target) return;
     const int line = dim == 0 ? gy : gx;
-    int bi = c / n, bj = target / n;
-    int i = c % n, j = target % n;
+    const std::vector<std::int32_t>& boards = dim == 0 ? bx_of_gx_ : by_of_gy_;
+    const std::vector<std::int32_t>& offs = dim == 0 ? ox_of_gx_ : oy_of_gy_;
+    int bi = boards[c], bj = boards[target];
+    int i = offs[c], j = offs[target];
     int rail = rail_hops(dim, line, bi, bj);
-    auto edge_acc = [&](int board, int side) {
-      int coord = board * n + (side == 0 ? 0 : n - 1);
-      return dim == 0 ? endpoint_node(rank_at(coord, gy))
-                      : endpoint_node(rank_at(gx, coord));
-    };
     if (bi == bj) {
       int direct = std::abs(i - j);
       int wrap1 = i + rail + (n - 1 - j);
       int wrap2 = (n - 1 - i) + rail + j;
       int best = std::min({direct, wrap1, wrap2});
-      std::vector<int> options;
-      if (direct == best) options.push_back(0);
-      if (wrap1 == best) options.push_back(1);
-      if (wrap2 == best) options.push_back(2);
-      int pick = options[rng.uniform(options.size())];
+      int options[3];
+      std::size_t num_options = 0;
+      if (direct == best) options[num_options++] = 0;
+      if (wrap1 == best) options[num_options++] = 1;
+      if (wrap2 == best) options[num_options++] = 2;
+      int pick = options[rng.uniform(num_options)];
       if (pick == 0) {
         emit_mesh(dim, target);
       } else {
         int exit_side = pick == 1 ? 0 : 1;
         emit_mesh(dim, bi * n + (exit_side == 0 ? 0 : n - 1));
-        emit_rail(dim, line, bi, bj, edge_acc(bi, exit_side),
-                  edge_acc(bj, 1 - exit_side), stratum, rng, out);
+        emit_rail(dim, line, bi, bj, exit_side, 1 - exit_side, stratum, out);
         c = bj * n + (exit_side == 0 ? n - 1 : 0);
         emit_mesh(dim, target);
       }
@@ -307,8 +392,7 @@ void HammingMesh::route(int src, int dst, int stratum, Rng& rng,
     };
     int exit_side = pick_side(i), enter_side = pick_side(j);
     emit_mesh(dim, bi * n + (exit_side == 0 ? 0 : n - 1));
-    emit_rail(dim, line, bi, bj, edge_acc(bi, exit_side),
-              edge_acc(bj, enter_side), stratum, rng, out);
+    emit_rail(dim, line, bi, bj, exit_side, enter_side, stratum, out);
     c = bj * n + (enter_side == 0 ? 0 : n - 1);
     emit_mesh(dim, target);
   };

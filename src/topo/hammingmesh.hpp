@@ -14,6 +14,8 @@
 // A 2D HyperX is the degenerate Hx1Mesh (a = b = 1).
 #pragma once
 
+#include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,10 +53,12 @@ class HammingMesh : public Topology {
   int accel_x() const { return params_.a * params_.x; }  // global width
   int accel_y() const { return params_.b * params_.y; }  // global height
   int rank_at(int gx, int gy) const { return gy * accel_x() + gx; }
-  int gx_of(int rank) const { return rank % accel_x(); }
-  int gy_of(int rank) const { return rank / accel_x(); }
-  int board_x_of(int rank) const { return gx_of(rank) / params_.a; }
-  int board_y_of(int rank) const { return gy_of(rank) / params_.b; }
+  // Table-backed: the router resolves coordinates per hop, and integer
+  // division by runtime board sizes would dominate its per-path cost.
+  int gx_of(int rank) const { return gx_of_[rank]; }
+  int gy_of(int rank) const { return gy_of_[rank]; }
+  int board_x_of(int rank) const { return bx_of_gx_[gx_of_[rank]]; }
+  int board_y_of(int rank) const { return by_of_gy_[gy_of_[rank]]; }
 
   // -- structure (tests, cost model, simulator) -----------------------------
   /// Number of rail switches in this plane (all levels, both dimensions).
@@ -76,6 +80,12 @@ class HammingMesh : public Topology {
     std::vector<NodeId> leaves;
     std::vector<NodeId> spines;
     int ports_per_leaf = 0;  // port index / ports_per_leaf -> leaf index
+    std::vector<NodeId> leaf_of_board;  // precomputed leaf per board index
+    std::vector<int> leaf_idx_of_board;
+    // Parallel-cable bundles between tree levels, precomputed so a rail
+    // crossing picks cables without searching the adjacency:
+    // [leaf_idx * spines.size() + spine_idx] and the reverse direction.
+    std::vector<std::span<const LinkId>> leaf_to_spine, spine_to_leaf;
   };
 
   // Per-dimension rail plumbing. dim 0 = x (W/E ports), dim 1 = y (S/N).
@@ -91,18 +101,20 @@ class HammingMesh : public Topology {
     return dr.rails[dr.rail_of_line[line]];
   }
   NodeId leaf_for(int dim, int line, int board) const {
-    const Rail& r = rail_for(dim, line);
-    return r.leaves[(2 * board) / r.ports_per_leaf];
+    return rail_for(dim, line).leaf_of_board[board];
   }
   // Cost in cables of crossing one dimension's rail between two boards
   // (2 via a shared switch/leaf, 4 via a spine).
   int rail_hops(int dim, int line, int b1, int b2) const;
-  // Emits the rail traversal links from the edge accelerator `from` to the
-  // edge accelerator `to` over the rail of `line`; `stratum` deterministically
-  // spreads subflows over rail spines.
+  // Emits the rail traversal links from the edge accelerator on
+  // `from_side` of `from_board` to the one on `to_side` of `to_board` over
+  // the rail of `line`; `stratum` deterministically spreads subflows over
+  // rail spines and parallel cables.
   void emit_rail(int dim, int line, int from_board, int to_board,
-                 NodeId from_acc, NodeId to_acc, int stratum, Rng& rng,
+                 int from_side, int to_side, int stratum,
                  std::vector<LinkId>& out) const;
+  // Builds the span tables below (constructor tail, after all links exist).
+  void build_route_tables();
   void route(int src, int dst, int stratum, Rng& rng,
              std::vector<LinkId>& out) const;
   LinkId random_link_between(NodeId u, NodeId v, Rng& rng) const;
@@ -111,6 +123,22 @@ class HammingMesh : public Topology {
   DimRails x_rails_, y_rails_;
   int rail_levels_x_ = 1, rail_levels_y_ = 1;
   int num_switches_ = 0;
+  // Division-free coordinate lookups (see gx_of etc. above).
+  std::vector<std::int32_t> gx_of_, gy_of_;          // by rank
+  std::vector<std::int32_t> bx_of_gx_, ox_of_gx_;    // by global x coord
+  std::vector<std::int32_t> by_of_gy_, oy_of_gy_;    // by global y coord
+
+  // Per-hop routing tables: spans point into the graph's bundle index
+  // (stable once built), so the router picks among parallel cables with a
+  // table load instead of an adjacency search per decision.
+  struct RailPortSpans {
+    std::span<const LinkId> to_leaf, from_leaf;
+  };
+  // mesh_links_[rank][d]: on-board links in direction d (0:+x, 1:-x,
+  // 2:+y, 3:-y); empty at a board edge.
+  std::vector<std::array<std::span<const LinkId>, 4>> mesh_links_;
+  // rail_ports_[dim][line][board * 2 + side]: edge-accelerator <-> leaf.
+  std::array<std::vector<std::vector<RailPortSpans>>, 2> rail_ports_;
 };
 
 }  // namespace hxmesh::topo

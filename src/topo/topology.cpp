@@ -41,7 +41,7 @@ Topology::DistField Topology::dist_field(NodeId dst_node) const {
     // FIFO eviction keeps memory bounded on large machines; shared_ptr
     // keeps evicted fields alive for threads still reading them.
     NodeId victim = dist_cache_order_.front();
-    dist_cache_order_.erase(dist_cache_order_.begin());
+    dist_cache_order_.pop_front();
     dist_cache_.erase(victim);
   }
   dist_cache_order_.push_back(dst_node);

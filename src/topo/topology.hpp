@@ -16,6 +16,7 @@
 /// thread-safe BFS routing oracle.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -114,7 +115,9 @@ class Topology {
   std::vector<std::int32_t> rank_of_node_;
   mutable std::shared_mutex dist_mutex_;
   mutable std::unordered_map<NodeId, DistField> dist_cache_;
-  mutable std::vector<NodeId> dist_cache_order_;
+  // FIFO eviction order; a deque so evicting the oldest entry is O(1)
+  // instead of shifting the whole order vector.
+  mutable std::deque<NodeId> dist_cache_order_;
 };
 
 }  // namespace hxmesh::topo

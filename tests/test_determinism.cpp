@@ -1,0 +1,271 @@
+// Determinism guarantees of the optimized hot paths.
+//
+// The event core, the routing tables, and the incremental max-min solver
+// are performance rewrites that must not change a single bit of output:
+//  - the calendar EventQueue must pop in exact (time, FIFO-seq) order,
+//  - FlowSolver::solve must reproduce the classic full-rescan progressive
+//    filling exactly (same deltas, same freezes, same float additions),
+//  - both engines together must reproduce the committed regression-grid
+//    baselines byte for byte when run through ExperimentHarness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/fsio.hpp"
+#include "core/json_parse.hpp"
+#include "core/rng.hpp"
+#include "engine/harness.hpp"
+#include "flow/flow_sim.hpp"
+#include "flow/patterns.hpp"
+#include "sim/event_queue.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hammingmesh.hpp"
+#include "topo/torus.hpp"
+
+namespace hxmesh {
+namespace {
+
+// ------------------------------------------------------------ EventQueue --
+
+// Pops must come out in ascending (time, seq) order no matter how the
+// calendar buckets, overflow list, and resizes shuffle storage.
+TEST(EventQueueDeterminism, PopsInTimeThenFifoOrder) {
+  Rng rng(123);
+  sim::EventQueue q;
+  struct Ref {
+    picoseconds time;
+    std::uint32_t id;
+  };
+  std::vector<Ref> scheduled;
+  std::uint32_t next_id = 0;
+  std::vector<Ref> popped;
+
+  // Three phases stress different calendar shapes: a dense burst with many
+  // ties, interleaved push/pop in steady state (the simulator's pattern),
+  // and a sparse far-future tail that exercises year jumps.
+  auto push = [&](picoseconds t) {
+    q.schedule(t, sim::EventKind::kUserCallback, next_id);
+    scheduled.push_back({t, next_id});
+    ++next_id;
+  };
+  for (int i = 0; i < 2000; ++i) push(rng.uniform(64));  // tie-heavy burst
+  for (int i = 0; i < 6000; ++i) {
+    sim::Event e = q.pop();
+    popped.push_back({e.time, e.a});
+    if (next_id < 7000) push(q.now() + rng.uniform(5000));
+    if (next_id < 7000 && rng.uniform(4) == 0)
+      push(q.now() + 1000000 + rng.uniform(900000000));  // far-future years
+  }
+  while (!q.empty()) {
+    sim::Event e = q.pop();
+    popped.push_back({e.time, e.a});
+  }
+
+  ASSERT_EQ(popped.size(), scheduled.size());
+  // Because every push is at or after the pop time that triggered it, the
+  // global pop sequence must be non-decreasing in time with schedule-order
+  // (FIFO) tie-breaks — exactly the heap's (time, seq) total order.
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    ASSERT_LE(popped[i - 1].time, popped[i].time) << "at pop " << i;
+    if (popped[i - 1].time == popped[i].time)
+      ASSERT_LT(popped[i - 1].id, popped[i].id) << "FIFO tie at pop " << i;
+  }
+}
+
+TEST(EventQueueDeterminism, EmptyRefillCycles) {
+  sim::EventQueue q;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    picoseconds base = q.now() + 1 + cycle * 999999937ull;  // new year each time
+    q.schedule(base + 5, sim::EventKind::kUserCallback, 2);
+    q.schedule(base, sim::EventKind::kUserCallback, 1);
+    q.schedule(base + 5, sim::EventKind::kUserCallback, 3);
+    EXPECT_EQ(q.pop().a, 1u);
+    EXPECT_EQ(q.pop().a, 2u);  // FIFO among the time-tied pair
+    EXPECT_EQ(q.pop().a, 3u);
+    EXPECT_TRUE(q.empty());
+  }
+  EXPECT_EQ(q.events_processed(), 15u);
+}
+
+// ------------------------------------------------------------ FlowSolver --
+
+// The pre-optimization progressive filling, verbatim: every round rescans
+// all links for the fair-share minimum and all subflows for saturation.
+// Kept as the executable specification of solve()'s exact semantics.
+void solve_reference(const topo::Topology& topology,
+                     const flow::FlowSolverConfig& config,
+                     std::vector<flow::Flow>& flows) {
+  const topo::Graph& g = topology.graph();
+  Rng rng(config.seed);
+
+  struct Subflow {
+    int flow = 0;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    double rate = 0.0;
+    bool active = true;
+  };
+  std::vector<Subflow> subflows;
+  std::vector<topo::LinkId> path_links;
+  std::vector<topo::LinkId> path;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    flows[f].rate = 0.0;
+    if (flows[f].src == flows[f].dst) continue;
+    for (int k = 0; k < config.paths_per_flow; ++k) {
+      topology.sample_path_stratified(flows[f].src, flows[f].dst, k,
+                                      config.paths_per_flow, rng, path);
+      Subflow s;
+      s.flow = static_cast<int>(f);
+      s.first = static_cast<std::uint32_t>(path_links.size());
+      s.count = static_cast<std::uint32_t>(path.size());
+      path_links.insert(path_links.end(), path.begin(), path.end());
+      subflows.push_back(s);
+    }
+  }
+
+  std::vector<double> residual(g.num_links());
+  for (std::size_t l = 0; l < g.num_links(); ++l)
+    residual[l] = g.link(static_cast<topo::LinkId>(l)).bandwidth_bps;
+  std::vector<std::uint32_t> active_count(g.num_links(), 0);
+  for (const Subflow& s : subflows)
+    for (std::uint32_t i = 0; i < s.count; ++i)
+      ++active_count[path_links[s.first + i]];
+
+  std::size_t remaining = subflows.size();
+  for (int round = 0; round < config.max_filling_rounds && remaining > 0;
+       ++round) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < g.num_links(); ++l)
+      if (active_count[l] > 0)
+        delta = std::min(delta, residual[l] / active_count[l]);
+    if (!std::isfinite(delta)) break;
+
+    for (std::size_t l = 0; l < g.num_links(); ++l)
+      if (active_count[l] > 0) residual[l] -= delta * active_count[l];
+
+    const double eps = 1e-6 * kLinkBandwidthBps;
+    bool last_round = round + 1 == config.max_filling_rounds;
+    for (Subflow& s : subflows) {
+      if (!s.active) continue;
+      s.rate += delta;
+      bool frozen = last_round;
+      for (std::uint32_t i = 0; i < s.count && !frozen; ++i)
+        frozen = residual[path_links[s.first + i]] <= eps;
+      if (frozen) {
+        s.active = false;
+        --remaining;
+        for (std::uint32_t i = 0; i < s.count; ++i)
+          --active_count[path_links[s.first + i]];
+      }
+    }
+  }
+
+  for (const Subflow& s : subflows) flows[s.flow].rate += s.rate;
+}
+
+void expect_solver_matches_reference(const topo::Topology& topology,
+                                     std::vector<flow::Flow> flows,
+                                     flow::FlowSolverConfig config = {}) {
+  std::vector<flow::Flow> expected = flows;
+  solve_reference(topology, config, expected);
+  flow::FlowSolver solver(topology, config);
+  solver.solve(flows);
+  ASSERT_EQ(flows.size(), expected.size());
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    EXPECT_EQ(flows[i].rate, expected[i].rate)
+        << "flow " << i << " (" << flows[i].src << " -> " << flows[i].dst
+        << ") diverged from the reference filling";
+}
+
+TEST(FlowSolverDeterminism, AlltoallMatchesReferenceOnHxMesh) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  const int n = hx.num_endpoints();
+  std::vector<flow::Flow> flows;
+  for (int shift : {1, 7, 31, 32, 63})
+    for (const flow::Flow& f : flow::shift_pattern(n, shift))
+      flows.push_back(f);
+  expect_solver_matches_reference(hx, std::move(flows));
+}
+
+TEST(FlowSolverDeterminism, RandomPermutationsMatchReference) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  topo::FatTree ft({.num_endpoints = 64, .radix = 64, .taper = 0.5});
+  topo::Torus torus({.width = 8, .height = 8});
+  const topo::Topology* topologies[] = {&hx, &ft, &torus};
+  for (const topo::Topology* t : topologies) {
+    for (std::uint64_t seed : {7ull, 1234ull, 0xdeadbeefull}) {
+      Rng rng(seed);
+      auto flows = flow::random_permutation(t->num_endpoints(), rng);
+      flow::FlowSolverConfig config;
+      config.seed = seed;
+      expect_solver_matches_reference(*t, std::move(flows), config);
+    }
+  }
+}
+
+TEST(FlowSolverDeterminism, SelfFlowsAndRepeatSolvesMatchReference) {
+  topo::Torus torus({.width = 4, .height = 4});
+  std::vector<flow::Flow> flows = {{0, 5}, {3, 3}, {5, 0}, {1, 1}, {2, 14}};
+  expect_solver_matches_reference(torus, flows);
+  // solve() must be reusable: a second run resets rates and reproduces
+  // the same answer from the same config seed.
+  flow::FlowSolver solver(torus);
+  std::vector<flow::Flow> once = flows, twice = flows;
+  solver.solve(once);
+  solver.solve(twice);
+  solver.solve(twice);
+  for (std::size_t i = 0; i < once.size(); ++i)
+    EXPECT_EQ(once[i].rate, twice[i].rate);
+}
+
+// ------------------------------------------- regression grid, both engines --
+
+#ifdef HXMESH_SOURCE_DIR
+// The full 15-row pinned grid (flow and packet engines, up to
+// hx2mesh:64x64) rendered through the harness must stay byte-identical to
+// the committed baseline: the optimizations change speed, not results.
+TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
+  const std::string base = std::string(HXMESH_SOURCE_DIR) + "/bench/baselines";
+  const std::optional<std::string> grid_text =
+      read_file(base + "/regression_grid.json");
+  ASSERT_TRUE(grid_text) << "cannot open " << base << "/regression_grid.json";
+  const JsonValue doc = parse_json(*grid_text);
+  const JsonValue* grids = doc.get("grids");
+  ASSERT_NE(grids, nullptr) << "regression_grid.json lost its grids array";
+  std::vector<engine::GridSpec> specs;
+  for (const JsonValue& grid : grids->array) {
+    engine::GridSpec spec;
+    spec.config.engines.clear();
+    spec.config.seeds.clear();
+    for (const JsonValue& t : grid.get("topologies")->array)
+      spec.config.topologies.push_back(t.str);
+    for (const JsonValue& e : grid.get("engines")->array)
+      spec.config.engines.push_back(e.str);
+    for (const JsonValue& p : grid.get("patterns")->array)
+      spec.config.patterns.push_back(flow::parse_traffic(p.str));
+    for (const JsonValue& s : grid.get("seeds")->array)
+      spec.config.seeds.push_back(s.as_u64());
+    specs.push_back(std::move(spec));
+  }
+
+  engine::ExperimentHarness harness;
+  std::vector<engine::SweepRow> rows = harness.run_grids(specs);
+  EXPECT_EQ(rows.size(), 15u) << "regression grid changed size; update the "
+                                 "baselines and this test together";
+  std::ostringstream rendered;
+  engine::write_json(rendered, rows);
+  const std::optional<std::string> baseline =
+      read_file(base + "/bench_regression.json");
+  ASSERT_TRUE(baseline) << "cannot open " << base << "/bench_regression.json";
+  EXPECT_EQ(rendered.str(), *baseline)
+      << "harness rows diverged from bench/baselines/bench_regression.json";
+}
+#endif  // HXMESH_SOURCE_DIR
+
+}  // namespace
+}  // namespace hxmesh

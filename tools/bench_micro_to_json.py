@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON into flat BENCH_micro.json rows, and
+soft-gate them against a committed baseline.
+
+Conversion keeps one row per benchmark (aggregate rows like `_mean` are
+folded: the median aggregate wins when repetitions were used) with the
+fields CI tracks: name, real/cpu time in ns, and items/s when reported.
+
+With --check BASELINE the current rows are compared against the committed
+baseline. The gate is SOFT by design — microbenchmark runners are noisy,
+so regressions print GitHub `::warning::` annotations and the exit status
+stays 0. Only structural problems (unreadable input, empty benchmark set,
+a benchmark disappearing entirely) fail the step: those mean the perf job
+itself broke, not that the machine was slow.
+
+usage: bench_micro_to_json.py GOOGLE_BENCH.json -o BENCH_micro.json \
+           [--check bench/baselines/bench_micro.json] [--max-regress 1.75]
+"""
+
+import argparse
+import json
+import sys
+
+AGGREGATE_PRIORITY = {"median": 0, "mean": 1}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_micro_to_json: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def convert(doc):
+    """google-benchmark document -> {name: row} in first-seen order."""
+    rows = {}
+    chosen = {}  # name -> aggregate priority that produced its row
+    for b in doc.get("benchmarks", []):
+        name = b.get("run_name", b.get("name", ""))
+        if not name:
+            continue
+        agg = b.get("aggregate_name", "")
+        if b.get("run_type") == "aggregate":
+            prio = AGGREGATE_PRIORITY.get(agg)
+            if prio is None:
+                continue  # stddev/cv/min/max are not representative rows
+        else:
+            prio = 2  # plain iteration rows lose to median/mean aggregates
+        if name in chosen and chosen[name] <= prio:
+            continue
+        chosen[name] = prio
+        row = {
+            "name": name,
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+        }
+        if "items_per_second" in b:
+            row["items_per_second"] = b["items_per_second"]
+        rows[name] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="google-benchmark --benchmark_format=json output")
+    parser.add_argument("-o", "--output", default="BENCH_micro.json")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="soft-gate against a committed BENCH_micro.json")
+    parser.add_argument("--max-regress", type=float, default=1.75,
+                        help="warn when real_time exceeds baseline * this "
+                             "factor (default 1.75; generous for CI noise)")
+    args = parser.parse_args()
+
+    rows = convert(load(args.input))
+    if not rows:
+        print("bench_micro_to_json: no benchmarks in input", file=sys.stderr)
+        return 2
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(list(rows.values()), f, indent=2)
+        f.write("\n")
+    print(f"bench_micro_to_json: wrote {len(rows)} rows to {args.output}")
+
+    if not args.check:
+        return 0
+    baseline = {row["name"]: row for row in load(args.check)}
+    missing = [name for name in baseline if name not in rows]
+    if missing:
+        print(f"bench_micro_to_json: benchmarks missing from run: {missing}",
+              file=sys.stderr)
+        return 1  # a vanished benchmark is a broken job, not noise
+    regressions = 0
+    for name, base in baseline.items():
+        want, got = base.get("real_time_ns"), rows[name].get("real_time_ns")
+        if not want or not got:
+            continue
+        ratio = got / want
+        status = "regressed" if ratio > args.max_regress else "ok"
+        print(f"  {name}: {want / 1e6:.3f} ms -> {got / 1e6:.3f} ms "
+              f"({ratio:.2f}x baseline, {status})")
+        if ratio > args.max_regress:
+            regressions += 1
+            print(f"::warning title=bench_micro regression::{name} is "
+                  f"{ratio:.2f}x its baseline ({got / 1e6:.3f} ms vs "
+                  f"{want / 1e6:.3f} ms); investigate or regenerate "
+                  f"bench/baselines/bench_micro.json")
+    for name in rows:
+        if name not in baseline:
+            print(f"::notice title=bench_micro new benchmark::{name} has no "
+                  f"baseline row yet; add it to bench/baselines/bench_micro.json")
+    if regressions:
+        print(f"bench_micro_to_json: {regressions} soft-gate warning(s) "
+              f"(not failing: perf runners are noisy)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
