@@ -12,6 +12,7 @@
 #include "sim/event_queue.hpp"
 #include "topo/fattree.hpp"
 #include "topo/hammingmesh.hpp"
+#include "topo/routing_oracle.hpp"
 
 using namespace hxmesh;
 
@@ -113,6 +114,49 @@ static void BM_BfsDistanceField(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsDistanceField);
+
+// Dist-field construction on the paper's large Hx2Mesh (16,384
+// accelerators plus rail-tree switches) — the per-destination setup cost
+// behind packet-sim route tables and the dist_field cache. The Oracle/Bfs
+// pair measures the closed-form fill against the reverse BFS it replaced
+// (the headline route-table/dist-field speedup of the routing-oracle
+// work). Destinations stride through the machine so no per-destination
+// state is reused.
+static void BM_DistFieldOracleHx64(benchmark::State& state) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  const topo::RoutingOracle& oracle = hx.routing_oracle();
+  std::vector<std::int32_t> field;
+  int dst = 0;
+  for (auto _ : state) {
+    oracle.fill(hx.endpoint_node(dst), field);
+    benchmark::DoNotOptimize(field.back());
+    dst = (dst + 4097) % hx.num_endpoints();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistFieldOracleHx64);
+
+static void BM_DistFieldBfsHx64(benchmark::State& state) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  int dst = 0;
+  for (auto _ : state) {
+    auto field = hx.graph().dist_to(hx.endpoint_node(dst));
+    benchmark::DoNotOptimize(field.back());
+    dst = (dst + 4097) % hx.num_endpoints();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistFieldBfsHx64);
+
+static void BM_DiameterHx64(benchmark::State& state) {
+  // Oracle-backed eccentricity search at full machine scale (was 128
+  // whole-graph BFS passes before the oracle).
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hx.diameter());
+  }
+}
+BENCHMARK(BM_DiameterHx64);
 
 static void BM_AllocatorJobMix(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "core/subprocess.hpp"
 #include "engine/harness.hpp"
 #include "engine/shard.hpp"
+#include "topo/routing_oracle.hpp"
 
 namespace hxmesh::cli {
 
@@ -27,14 +29,15 @@ subcommands:
          run one grid cell; prints its JSON row
   sweep  (--topo SPEC)+ (--pattern SPEC)+ [(--engine NAME)+] [(--seed N)+]
          [--label L]* [--config FILE.json] [--json PATH]
-         [--shards N [--workers K] [--retries R]]
+         [--shards N [--workers K] [--retries R] [--progress]]
          run the full topology x engine x pattern x seed grid
          (no --seed: each pattern's own seed= applies, default 1).
          With --shards: partition the grid into N contiguous shards,
          fork/exec one 'hxmesh shard' worker per shard over K process
          slots (retrying failed shards R extra times), then merge through
          the shared result cache into the byte-identical single-process
-         row order
+         row order. --progress reports each shard attempt as it
+         completes (stderr)
   shard  --shards N --shard I [grid flags as for sweep] [--manifest PATH]
          run one shard of the grid: simulate its cells, store them as
          result-cache entries, and write a coverage manifest
@@ -42,7 +45,8 @@ subcommands:
          list registered engines, topology families, pattern grammar
   cache  stats|clear|prune [--cache-dir DIR]
          inspect, empty, or age/LRU-evict the result cache
-         (prune: --max-age AGE[s|m|h|d] and/or --max-entries N)
+         (prune: --max-age AGE[s|m|h|d] and/or --max-entries N;
+         stats also reports this process's routing-oracle counters)
 
 common options:
   --json PATH       write rows as a JSON array to PATH ('-' = stdout)
@@ -102,7 +106,7 @@ std::int64_t parse_age(const std::string& flag, const std::string& token) {
     }
   }
   const std::optional<std::uint64_t> v = parse_u64_strict(digits);
-  if (!v || *v > INT64_MAX / scale)
+  if (!v || *v > static_cast<std::uint64_t>(INT64_MAX / scale))
     usage_error(flag + ": bad duration '" + token +
                 "' (an integer with an optional s/m/h/d suffix)");
   return static_cast<std::int64_t>(*v) * scale;
@@ -121,6 +125,7 @@ struct SweepOptions {
   int shard_index = -1;       // shard subcommand only
   unsigned workers = 0;       // 0: min(shards, hardware)
   unsigned retries = 1;       // extra attempts per failed shard
+  bool progress = false;      // per-shard completion reporting (stderr)
   std::string manifest_path;  // shard subcommand output (default derived)
 };
 
@@ -250,6 +255,17 @@ void emit_rows(const std::vector<engine::SweepRow>& rows,
   err << "wrote " << rows.size() << " rows to " << json_path << "\n";
 }
 
+// One line of routing-oracle observability (process-wide counters): how
+// distance fields were produced this session. On structured topologies
+// the hot path must show "0 bfs fills" — the closed-form oracles carry
+// all of it.
+void report_routing(std::ostream& out) {
+  const topo::RoutingCounters c = topo::routing_counters();
+  out << "routing: " << c.oracle_fills << " oracle fills, " << c.bfs_fills
+      << " bfs fills, " << c.dist_cache_hits
+      << " dist-cache hits (this process)\n";
+}
+
 void report_cache(const engine::ResultCache& cache, std::ostream& err) {
   const std::size_t hits = cache.hits();
   const std::size_t misses = cache.misses();
@@ -258,6 +274,7 @@ void report_cache(const engine::ResultCache& cache, std::ostream& err) {
       total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / total;
   err << "cache: " << hits << " hits, " << misses << " misses (" << fmt(pct, 1)
       << "% hit rate) in " << cache.dir() << "\n";
+  report_routing(err);
 }
 
 std::string shard_meta_dir(const std::string& cache_dir) {
@@ -327,8 +344,21 @@ int do_sweep_sharded(const SweepOptions& opt,
     return run_command(argv);
   };
 
+  engine::ShardProgress progress;
+  std::mutex progress_mutex;  // err is also written after the join
+  if (opt.progress)
+    progress = [&err, &progress_mutex](const engine::ShardRun& run,
+                                       unsigned completed, unsigned total) {
+      std::lock_guard lock(progress_mutex);
+      err << "progress: shard " << run.shard << " "
+          << (run.exit_code == 0 ? "ok" : "failed") << " (attempt "
+          << run.attempts << ") — " << completed << "/" << total
+          << " shards done\n";
+      err.flush();
+    };
+
   const auto runs = engine::run_shard_jobs(opt.shards, workers,
-                                           1 + opt.retries, launch);
+                                           1 + opt.retries, launch, progress);
   unsigned failed = 0;
   for (const engine::ShardRun& run : runs) {
     if (run.exit_code == 0 && run.attempts > 1)
@@ -400,6 +430,8 @@ int do_shard(SweepOptions opt, std::ostream& out, std::ostream& err) {
   if (opt.no_cache)
     usage_error("shard: the result cache is the shard's output "
                 "(drop --no-cache)");
+  if (opt.progress)
+    usage_error("shard: --progress applies to the sweep orchestrator");
 
   const auto grids = final_grids(opt);
   const engine::GridPlan plan(grids);
@@ -426,6 +458,8 @@ int do_shard(SweepOptions opt, std::ostream& out, std::ostream& err) {
 int do_run(SweepOptions opt, std::ostream& out, std::ostream& err) {
   if (opt.shards != 0 || opt.shard_index >= 0)
     usage_error("run: sharding flags apply to sweep and shard only");
+  if (opt.progress)
+    usage_error("run: --progress applies to the sweep orchestrator");
   if (!opt.config_grids.empty())
     usage_error("run: a \"grids\" config applies to sweep only");
   if (opt.config.topologies.size() != 1)
@@ -496,6 +530,8 @@ SweepOptions parse_grid_flags(const std::vector<std::string>& args,
     else if (flag == "--retries")
       opt.retries = static_cast<unsigned>(
           parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--progress")
+      opt.progress = true;
     else if (flag == "--manifest")
       opt.manifest_path = need_value(args, i);
     else
@@ -557,6 +593,11 @@ int do_cache(const std::vector<std::string>& args, std::size_t start,
     out << "dir: " << cache.dir() << "\n"
         << "entries: " << stats.entries << "\n"
         << "bytes: " << stats.bytes << "\n";
+    report_routing(out);
+    const topo::RoutingCounters c = topo::routing_counters();
+    if (c.oracle_fills + c.bfs_fills + c.dist_cache_hits == 0)
+      out << "  (counters are per-process: run or sweep in the same "
+             "process to populate them)\n";
     return 0;
   }
   if (action == "clear") {

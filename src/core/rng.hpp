@@ -27,6 +27,18 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
+  /// Independent substream `index` of a base `seed`: a fresh generator
+  /// whose state is a pure function of (seed, index). Consumers that fan
+  /// work over threads draw one substream per logical item (e.g. one per
+  /// flow), which makes their random choices independent of worker count
+  /// and iteration order by construction.
+  static Rng substream(std::uint64_t seed, std::uint64_t index) {
+    // Weyl-step the index into the seed, then let the constructor's
+    // splitmix64 expansion decorrelate neighboring indices.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+    return Rng(splitmix64(x));
+  }
+
   result_type operator()() { return next(); }
 
   std::uint64_t next() {

@@ -73,6 +73,13 @@ RunResult PacketEngine::run_point_to_point(const flow::TrafficSpec& spec) {
   RunResult result;
   result.flows = flow::make_flows(spec, topology_.num_endpoints());
   sim::PacketSim sim(topology_, config_);
+  // The destination set is known before any message is queued, so the
+  // route tables (the expensive per-destination setup) build in parallel.
+  std::vector<int> dsts;
+  dsts.reserve(result.flows.size());
+  for (const flow::Flow& f : result.flows)
+    if (f.src != f.dst) dsts.push_back(f.dst);
+  sim.prebuild_routes(dsts);
   std::vector<picoseconds> delivered(result.flows.size(), 0);
   for (std::size_t i = 0; i < result.flows.size(); ++i) {
     const flow::Flow& f = result.flows[i];
@@ -101,6 +108,7 @@ RunResult PacketEngine::run_alltoall(const flow::TrafficSpec& spec) {
   sim::MiniMpi mpi(topology_, config_);
   std::vector<int> ranks(n);
   std::iota(ranks.begin(), ranks.end(), 0);
+  mpi.sim().prebuild_routes(ranks);  // every rank receives in an alltoall
   picoseconds t = collectives::run_alltoall(mpi, ranks, elems);
   RunResult result;
   result.completion_s = ps_to_s(t);
@@ -131,6 +139,12 @@ RunResult PacketEngine::run_allreduce(const flow::TrafficSpec& spec) {
 
   sim::MiniMpi mpi(topology_, config_);
   collectives::RingMapping mapping = collectives::build_ring_mapping(topology_);
+  {
+    // Ring steps make every rank a receive destination eventually.
+    std::vector<int> ranks(n);
+    std::iota(ranks.begin(), ranks.end(), 0);
+    mpi.sim().prebuild_routes(ranks);
+  }
   picoseconds t = 0;
   if (spec.torus_algorithm) {
     auto grid = rank_grid(topology_);

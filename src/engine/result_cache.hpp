@@ -32,7 +32,9 @@ namespace hxmesh::engine {
 class ResultCache {
  public:
   /// Bump when RunResult semantics or the entry format change.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: FlowSolver path sampling switched to per-flow RNG substreams
+  /// (PR 5), changing every flow-engine result.
+  static constexpr int kSchemaVersion = 2;
 
   static constexpr const char* kDefaultDir = ".hxmesh-cache";
 

@@ -121,7 +121,8 @@ std::string merge_error(const GridPlan& plan,
 
 std::vector<ShardRun> run_shard_jobs(
     unsigned shards, unsigned workers, unsigned max_attempts,
-    const std::function<int(unsigned)>& launch) {
+    const std::function<int(unsigned)>& launch,
+    const ShardProgress& progress) {
   std::vector<ShardRun> runs(shards);
   for (unsigned i = 0; i < shards; ++i) runs[i].shard = i;
   if (shards == 0) return runs;
@@ -131,6 +132,7 @@ std::vector<ShardRun> run_shard_jobs(
 
   std::mutex mutex;
   std::deque<unsigned> queue;
+  unsigned completed = 0;
   for (unsigned i = 0; i < shards; ++i) queue.push_back(i);
 
   // A worker exits when it finds the queue empty. A shard re-enqueued by
@@ -157,8 +159,13 @@ std::vector<ShardRun> run_shard_jobs(
         ShardRun& run = runs[shard];
         ++run.attempts;
         run.exit_code = code;
-        if (code != 0 && static_cast<unsigned>(run.attempts) < max_attempts)
-          queue.push_back(shard);
+        const bool retrying =
+            code != 0 && static_cast<unsigned>(run.attempts) < max_attempts;
+        if (retrying) queue.push_back(shard);
+        if (!retrying) ++completed;  // success, or retries exhausted
+        // Progress fires under the lock so observers see a serialized,
+        // monotonically completing sequence.
+        if (progress) progress(run, completed, shards);
       }
     }
   };

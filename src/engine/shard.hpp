@@ -77,6 +77,17 @@ struct ShardRun {
   int exit_code = -1;  ///< last launcher exit code (0 = success)
 };
 
+/// \brief Per-attempt progress callback of the orchestrator.
+///
+/// Invoked after every launch attempt resolves, with the shard's current
+/// ShardRun state, the number of shards that have reached a terminal
+/// outcome (success, or retries exhausted), and the total shard count.
+/// Calls are serialized under the orchestrator's lock, so implementations
+/// may write to a stream without their own synchronization; a shard is
+/// counted completed in the same call that reports its terminal attempt.
+using ShardProgress =
+    std::function<void(const ShardRun&, unsigned completed, unsigned total)>;
+
 /// \brief Drives `launch(shard)` for every shard over `workers` concurrent
 /// slots, retrying failures.
 ///
@@ -85,8 +96,10 @@ struct ShardRun {
 /// launches. A launcher that throws counts as exit code -1 for that
 /// attempt. Returns one ShardRun per shard, indexed by shard. The launcher
 /// must be thread-safe: up to `workers` invocations run concurrently.
+/// `progress`, when set, observes every attempt (see ShardProgress).
 std::vector<ShardRun> run_shard_jobs(unsigned shards, unsigned workers,
                                      unsigned max_attempts,
-                                     const std::function<int(unsigned)>& launch);
+                                     const std::function<int(unsigned)>& launch,
+                                     const ShardProgress& progress = nullptr);
 
 }  // namespace hxmesh::engine

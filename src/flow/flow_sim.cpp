@@ -5,8 +5,21 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <utility>
+
+#include "core/thread_pool.hpp"
 
 namespace hxmesh::flow {
+
+namespace {
+// Flows per sampling job: big enough that the parallel_for dispatch is
+// noise, small enough to load-balance uneven path lengths.
+constexpr std::size_t kSampleChunk = 256;
+// Below this many flows a pool spin-up costs more than it saves; the
+// sampled paths are identical either way (per-flow substreams), so the
+// threshold shapes only wall-clock.
+constexpr std::size_t kParallelSamplingMin = 2048;
+}  // namespace
 
 FlowSolver::FlowSolver(const topo::Topology& topology, FlowSolverConfig config)
     : topology_(topology), config_(config) {}
@@ -24,33 +37,75 @@ FlowSolver::FlowSolver(const topo::Topology& topology, FlowSolverConfig config)
 // full-rescan formulation, round for round.
 void FlowSolver::solve(std::vector<Flow>& flows) const {
   const topo::Graph& g = topology_.graph();
-  Rng rng(config_.seed);
 
-  // Sample subflow paths, flattened for cache friendliness.
+  // Sample subflow paths. Each flow draws from its own counter-seeded RNG
+  // substream, so chunks of flows are independent jobs: the fan-out over
+  // the pool produces exactly the serial paths for every worker count.
+  // Chunks land in per-chunk buffers and are flattened in flow order
+  // below, which keeps the downstream filling identical to a serial
+  // sampling loop.
   struct Subflow {
     int flow = 0;
     std::uint32_t first = 0;  // into path_links
     std::uint32_t count = 0;
   };
+  struct Chunk {
+    std::vector<topo::LinkId> links;  // concatenated sampled paths
+    std::vector<std::pair<int, std::uint32_t>> subs;  // (flow, path length)
+  };
+  const std::size_t nchunks =
+      (flows.size() + kSampleChunk - 1) / kSampleChunk;
+  std::vector<Chunk> chunks(nchunks);
+  auto sample_chunk = [&](std::size_t c) {
+    Chunk& chunk = chunks[c];
+    std::vector<topo::LinkId> path;
+    const std::size_t lo = c * kSampleChunk;
+    const std::size_t hi = std::min(flows.size(), lo + kSampleChunk);
+    for (std::size_t f = lo; f < hi; ++f) {
+      if (flows[f].src == flows[f].dst) continue;
+      Rng rng = Rng::substream(config_.seed, f);
+      for (int k = 0; k < config_.paths_per_flow; ++k) {
+        topology_.sample_path_stratified(flows[f].src, flows[f].dst, k,
+                                         config_.paths_per_flow, rng, path);
+        chunk.subs.emplace_back(static_cast<int>(f),
+                                static_cast<std::uint32_t>(path.size()));
+        chunk.links.insert(chunk.links.end(), path.begin(), path.end());
+      }
+    }
+  };
+  if (config_.sample_threads != 1 && flows.size() >= kParallelSamplingMin) {
+    ThreadPool pool(config_.sample_threads);
+    pool.parallel_for(nchunks, sample_chunk);
+  } else {
+    for (std::size_t c = 0; c < nchunks; ++c) sample_chunk(c);
+  }
+
+  // Flatten in flow order, counting per-link crossings as the links land.
+  for (Flow& f : flows) f.rate = 0.0;
   std::vector<Subflow> subflows;
   std::vector<topo::LinkId> path_links;
-  std::vector<topo::LinkId> path;
-  subflows.reserve(flows.size() * config_.paths_per_flow);
-  path_links.reserve(flows.size() * config_.paths_per_flow * 4);
-  // Per-link crossing counts accumulate while the sampled path is hot.
+  {
+    std::size_t total_subs = 0, total_links = 0;
+    for (const Chunk& chunk : chunks) {
+      total_subs += chunk.subs.size();
+      total_links += chunk.links.size();
+    }
+    subflows.reserve(total_subs);
+    path_links.reserve(total_links);
+  }
   std::vector<std::uint32_t> link_off(g.num_links() + 1, 0);
-  for (std::size_t f = 0; f < flows.size(); ++f) {
-    flows[f].rate = 0.0;
-    if (flows[f].src == flows[f].dst) continue;
-    for (int k = 0; k < config_.paths_per_flow; ++k) {
-      topology_.sample_path_stratified(flows[f].src, flows[f].dst, k,
-                                       config_.paths_per_flow, rng, path);
+  for (const Chunk& chunk : chunks) {
+    std::size_t pos = 0;
+    for (const auto& [f, count] : chunk.subs) {
       Subflow s;
-      s.flow = static_cast<int>(f);
+      s.flow = f;
       s.first = static_cast<std::uint32_t>(path_links.size());
-      s.count = static_cast<std::uint32_t>(path.size());
-      for (topo::LinkId l : path) ++link_off[l + 1];
-      path_links.insert(path_links.end(), path.begin(), path.end());
+      s.count = count;
+      for (std::uint32_t i = 0; i < count; ++i)
+        ++link_off[chunk.links[pos + i] + 1];
+      path_links.insert(path_links.end(), chunk.links.begin() + pos,
+                        chunk.links.begin() + pos + count);
+      pos += count;
       subflows.push_back(s);
     }
   }

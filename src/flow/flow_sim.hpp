@@ -9,6 +9,12 @@
 // saturating link freezes exactly its crossers through a link->subflows
 // index — but produces bit-identical rates to the classic full-rescan
 // formulation (tests/test_determinism.cpp keeps that reference alive).
+//
+// Path sampling draws each flow's paths from its own counter-seeded RNG
+// substream (Rng::substream(seed, flow index)), which makes flows
+// independent: large flow sets sample in parallel over a thread pool with
+// rates that are bit-identical for every worker count, including one.
+//
 // This reproduces the steady-state bandwidth numbers of Table II and
 // Figures 11-13/17 for large messages; the packet-level simulator
 // (src/sim) cross-validates it at small scale.
@@ -32,6 +38,10 @@ struct FlowSolverConfig {
   int paths_per_flow = 8;
   std::uint64_t seed = 0x5eed;
   int max_filling_rounds = 400;  // progressive-filling safety cap
+  // Worker threads for the path-sampling fan-out: 0 uses $HXMESH_THREADS
+  // (else the hardware concurrency), 1 forces serial sampling. Never
+  // changes the computed rates — only wall-clock.
+  int sample_threads = 0;
 };
 
 class FlowSolver {

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "core/thread_pool.hpp"
+#include "topo/routing_oracle.hpp"
+
 namespace hxmesh::sim {
 
 using topo::LinkId;
@@ -34,13 +37,15 @@ PacketSim::PacketSim(const topo::Topology& topology, PacketSimConfig config)
   inject_queue_.resize(topology_.num_endpoints());
 }
 
-const PacketSim::RouteTable& PacketSim::route_to(NodeId dst_node) {
-  std::unique_ptr<RouteTable>& slot = routes_[dst_node];
-  if (slot) return *slot;
+std::unique_ptr<PacketSim::RouteTable> PacketSim::build_route_table(
+    NodeId dst_node) const {
   // Build the minimal next-hop candidates of every node toward dst once;
-  // the per-decision loops then scan a short flat array. Candidate order
-  // is the graph's out-link order, exactly what the per-decision dist
-  // filter used to yield.
+  // the per-decision loops then scan a short flat array. The candidate
+  // rule (shared with the oracles) appends in the graph's out-link order,
+  // exactly what the per-decision dist filter used to yield. The distance
+  // field itself comes from the topology's routing oracle — an O(V)
+  // closed-form fill on every structured family — through the shared
+  // dist_field cache.
   auto table = std::make_unique<RouteTable>();
   table->dist = topology_.dist_field(dst_node);
   const std::vector<std::int32_t>& dist = *table->dist;
@@ -49,14 +54,44 @@ const PacketSim::RouteTable& PacketSim::route_to(NodeId dst_node) {
   table->links.reserve(g.num_links() / 2);
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     table->offset[n] = static_cast<std::uint32_t>(table->links.size());
-    if (dist[n] > 0)
-      for (LinkId l : g.out_links(n))
-        if (dist[g.link(l).dst] == dist[n] - 1) table->links.push_back(l);
+    topo::RoutingOracle::next_hops_from_field(g, dist, n, table->links);
   }
   table->offset[g.num_nodes()] =
       static_cast<std::uint32_t>(table->links.size());
-  slot = std::move(table);
+  return table;
+}
+
+const PacketSim::RouteTable& PacketSim::route_to(NodeId dst_node) {
+  std::unique_ptr<RouteTable>& slot = routes_[dst_node];
+  if (!slot) slot = build_route_table(dst_node);
   return *slot;
+}
+
+void PacketSim::prebuild_routes(const std::vector<int>& dst_ranks) {
+  std::vector<NodeId> todo;
+  todo.reserve(dst_ranks.size());
+  std::vector<char> seen(topology_.graph().num_nodes(), 0);
+  for (int r : dst_ranks) {
+    const NodeId n = topology_.endpoint_node(r);
+    if (!seen[n] && !routes_[n]) {
+      seen[n] = 1;
+      todo.push_back(n);
+    }
+  }
+  // Below this, pool spin-up costs more than it saves; the tables are
+  // identical either way, so the threshold only shapes wall-clock.
+  constexpr std::size_t kParallelMin = 32;
+  if (todo.size() >= kParallelMin) {
+    ThreadPool pool;
+    if (pool.size() > 1) {
+      // Each job writes its own routes_ slot; dist_field is thread-safe.
+      pool.parallel_for(todo.size(), [&](std::size_t i) {
+        routes_[todo[i]] = build_route_table(todo[i]);
+      });
+      return;
+    }
+  }
+  for (NodeId n : todo) routes_[n] = build_route_table(n);
 }
 
 void PacketSim::send_message(int src, int dst, std::uint64_t bytes,

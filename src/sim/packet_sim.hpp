@@ -71,6 +71,15 @@ class PacketSim {
   void send_message(int src, int dst, std::uint64_t bytes,
                     std::function<void()> on_delivered);
 
+  /// Builds the per-destination route tables of `dst_ranks` up front,
+  /// fanned over a thread pool when there are enough of them to matter.
+  /// Purely a warm-up: each table is a deterministic function of the
+  /// topology, so prebuilding (with any worker count) leaves the
+  /// simulation bit-identical to lazy construction. Call it before the
+  /// first send_message to the listed destinations — injection builds a
+  /// destination's table on first use otherwise.
+  void prebuild_routes(const std::vector<int>& dst_ranks);
+
   /// Schedules `fn` at simulated time `now + delay` (for compute phases).
   /// User callbacks live in a side table; the event itself carries only the
   /// slot index, so the typed event core stays allocation-free.
@@ -132,6 +141,7 @@ class PacketSim {
   // field in a flat vector indexed by destination node and derives the
   // per-node candidate-link table from it once, lock-free thereafter.
   const RouteTable& route_to(topo::NodeId dst_node);
+  std::unique_ptr<RouteTable> build_route_table(topo::NodeId dst_node) const;
   void start_transmission(std::uint32_t packet_id, topo::LinkId link);
   int vc_after(const Packet& p, topo::LinkId link) const {
     return vc_bump_[link] ? std::min<int>(p.vc + 1, config_.num_vcs - 1)

@@ -6,6 +6,34 @@
 
 namespace hxmesh::topo {
 
+namespace {
+
+// Closed-form oracle over the precomputed all-pairs router distance
+// matrix: an endpoint is one hop from its router on each side.
+class DragonflyOracle final : public RoutingOracle {
+ public:
+  explicit DragonflyOracle(const Dragonfly& t)
+      : RoutingOracle(t.graph()), t_(t) {
+    router_of_node_.assign(t.graph().num_nodes(), -1);
+    for (int r = 0; r < t.num_routers(); ++r)
+      router_of_node_[t.router_node(r)] = r;
+  }
+
+  std::int32_t node_dist(NodeId from, NodeId dst_node) const override {
+    const int dd = t_.rank_of(dst_node);
+    const int rd = t_.router_of(dd);
+    const int s = t_.rank_of(from);
+    if (s >= 0) return s == dd ? 0 : 2 + t_.router_dist(t_.router_of(s), rd);
+    return 1 + t_.router_dist(router_of_node_[from], rd);
+  }
+
+ private:
+  const Dragonfly& t_;
+  std::vector<std::int32_t> router_of_node_;
+};
+
+}  // namespace
+
 Dragonfly::Dragonfly(DragonflyParams params) : params_(params) {
   const int a = params_.routers_per_group;
   const int p = params_.endpoints_per_router;
@@ -71,6 +99,7 @@ Dragonfly::Dragonfly(DragonflyParams params) : params_(params) {
       router_diameter_ = std::max(router_diameter_, static_cast<int>(dist[t]));
   }
   finalize();
+  set_routing_oracle(std::make_unique<DragonflyOracle>(*this));
 }
 
 void Dragonfly::sample_path(int src, int dst, Rng& rng,

@@ -12,6 +12,66 @@ namespace {
 int ceil_div(int a, int b) { return (a + b - 1) / b; }
 }  // namespace
 
+// Closed-form oracle. Distances follow from the wiring invariants the
+// builders guarantee: in a two-level tree every leaf reaches every spine;
+// in a three-level tree every leaf reaches every aggregation switch of its
+// pod and aggregation switch (g, j) reaches every core of group j — so the
+// hop count depends only on which of {leaf, pod} the two sides share.
+class FatTree::Oracle final : public RoutingOracle {
+ public:
+  explicit Oracle(const FatTree& t) : RoutingOracle(t.graph()), t_(t) {
+    // Node classification: 0 = leaf, 1 = aggregation (L2), 2 = spine/core;
+    // endpoints are recognized through rank_of().
+    level_of_node_.assign(t.graph().num_nodes(), -1);
+    idx_of_node_.assign(t.graph().num_nodes(), -1);
+    auto tag = [&](const std::vector<NodeId>& nodes, std::int8_t level) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        level_of_node_[nodes[i]] = level;
+        idx_of_node_[nodes[i]] = static_cast<std::int32_t>(i);
+      }
+    };
+    tag(t.leaves_, 0);
+    tag(t.l2_, 1);
+    tag(t.spines_, 2);
+  }
+
+  std::int32_t node_dist(NodeId from, NodeId dst_node) const override {
+    const int dd = t_.rank_of(dst_node);
+    const int dl = t_.leaf_of(dd);
+    const int s = t_.rank_of(from);
+    if (t_.levels_ == 2) {
+      if (s >= 0) return s == dd ? 0 : (t_.leaf_of(s) == dl ? 2 : 4);
+      switch (level_of_node_[from]) {
+        case 0: return idx_of_node_[from] == dl ? 1 : 3;
+        default: return 2;  // spine: every leaf is one hop away
+      }
+    }
+    const int dpod = t_.pod_of_leaf(dl);
+    if (s >= 0) {
+      if (s == dd) return 0;
+      const int sl = t_.leaf_of(s);
+      if (sl == dl) return 2;
+      return t_.pod_of_leaf(sl) == dpod ? 4 : 6;
+    }
+    switch (level_of_node_[from]) {
+      case 0: {
+        const int l = idx_of_node_[from];
+        if (l == dl) return 1;
+        return t_.pod_of_leaf(l) == dpod ? 3 : 5;
+      }
+      case 1:
+        return idx_of_node_[from] / t_.l2_per_pod_ == dpod ? 2 : 4;
+      default:
+        return 3;  // core: reaches the destination pod's L2 directly
+    }
+  }
+
+ private:
+  const FatTree& t_;
+  std::vector<std::int8_t> level_of_node_;
+  std::vector<std::int32_t> idx_of_node_;
+};
+
 FatTree::FatTree(FatTreeParams params) : params_(params) {
   if (params_.num_endpoints <= 0 || params_.radix < 4)
     throw std::invalid_argument("FatTree: bad parameters");
@@ -25,6 +85,7 @@ FatTree::FatTree(FatTreeParams params) : params_(params) {
     build_three_level();
   }
   finalize();
+  set_routing_oracle(std::make_unique<Oracle>(*this));
 }
 
 void FatTree::build_two_level() {

@@ -54,6 +54,8 @@ class FatTree : public Topology {
   int pod_of_leaf(int leaf) const { return levels_ == 3 ? leaf / leaves_per_pod_ : 0; }
 
  private:
+  class Oracle;  // closed-form routing oracle (defined in fattree.cpp)
+
   void build_two_level();
   void build_three_level();
   LinkId random_link_between(NodeId a, NodeId b, Rng& rng) const;

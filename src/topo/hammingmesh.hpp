@@ -74,6 +74,8 @@ class HammingMesh : public Topology {
   }
 
  private:
+  class Oracle;  // closed-form routing oracle (defined in hammingmesh.cpp)
+
   // One rail network: a single switch (leaves = {switch}, no spines) or a
   // two-level fat tree over the 2*x (or 2*y) board edge ports of a line.
   struct Rail {
@@ -115,6 +117,9 @@ class HammingMesh : public Topology {
                  std::vector<LinkId>& out) const;
   // Builds the span tables below (constructor tail, after all links exist).
   void build_route_tables();
+  // Installs the closed-form Oracle (constructor tail; lives in the .cpp
+  // because it needs the complete Oracle type).
+  void install_oracle();
   void route(int src, int dst, int stratum, Rng& rng,
              std::vector<LinkId>& out) const;
   LinkId random_link_between(NodeId u, NodeId v, Rng& rng) const;

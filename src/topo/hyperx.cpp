@@ -5,6 +5,33 @@
 
 namespace hxmesh::topo {
 
+// Closed-form oracle. From an endpoint the distance is hop_distance(); from
+// a switch it is 1 (ejection) plus one hop per differing grid coordinate
+// (rows and columns are fully connected).
+class HyperX::Oracle final : public RoutingOracle {
+ public:
+  explicit Oracle(const HyperX& t) : RoutingOracle(t.graph()), t_(t) {
+    sw_of_node_.assign(t.graph().num_nodes(), -1);
+    for (std::size_t i = 0; i < t.switches_.size(); ++i)
+      sw_of_node_[t.switches_[i]] = static_cast<std::int32_t>(i);
+  }
+
+  std::int32_t node_dist(NodeId from, NodeId dst_node) const override {
+    const int dd = t_.rank_of(dst_node);
+    const int r = t_.rank_of(from);
+    if (r >= 0) return t_.hop_distance(r, dd);
+    const int s = sw_of_node_[from];
+    const int sd = dd / t_.params_.endpoints_per_switch;
+    if (s == sd) return 1;
+    return 1 + (s % t_.params_.x != sd % t_.params_.x) +
+           (s / t_.params_.x != sd / t_.params_.x);
+  }
+
+ private:
+  const HyperX& t_;
+  std::vector<std::int32_t> sw_of_node_;
+};
+
 HyperX::HyperX(HyperXParams params) : params_(params) {
   const int x = params_.x, y = params_.y;
   if (x < 2 || y < 2 || params_.endpoints_per_switch < 1)
@@ -30,6 +57,7 @@ HyperX::HyperX(HyperXParams params) : params_(params) {
                           switches_[switch_at(c, r2)], kLinkBandwidthBps,
                           kCableLatencyPs, CableKind::kAoc);
   finalize();
+  set_routing_oracle(std::make_unique<Oracle>(*this));
 }
 
 void HyperX::sample_path(int src, int dst, Rng& rng,

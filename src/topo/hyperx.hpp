@@ -55,6 +55,8 @@ class HyperX : public Topology {
   int switch_at(int col, int row) const { return row * params_.x + col; }
 
  private:
+  class Oracle;  // closed-form routing oracle (defined in hyperx.cpp)
+
   void route(int src, int dst, int stratum, Rng& rng,
              std::vector<LinkId>& out) const;
 

@@ -1,0 +1,70 @@
+#include "topo/routing_oracle.hpp"
+
+#include <atomic>
+
+namespace hxmesh::topo {
+
+namespace {
+std::atomic<std::uint64_t> g_oracle_fills{0};
+std::atomic<std::uint64_t> g_bfs_fills{0};
+std::atomic<std::uint64_t> g_dist_cache_hits{0};
+}  // namespace
+
+RoutingCounters routing_counters() {
+  RoutingCounters c;
+  c.oracle_fills = g_oracle_fills.load(std::memory_order_relaxed);
+  c.bfs_fills = g_bfs_fills.load(std::memory_order_relaxed);
+  c.dist_cache_hits = g_dist_cache_hits.load(std::memory_order_relaxed);
+  return c;
+}
+
+namespace detail {
+void count_fill(bool closed_form) {
+  (closed_form ? g_oracle_fills : g_bfs_fills)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+void count_dist_cache_hit() {
+  g_dist_cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+void RoutingOracle::fill(NodeId dst_node,
+                         std::vector<std::int32_t>& out) const {
+  const std::size_t n = graph_.num_nodes();
+  out.resize(n);
+  for (NodeId u = 0; u < n; ++u) out[u] = node_dist(u, dst_node);
+}
+
+void RoutingOracle::next_hops(NodeId from, NodeId dst_node,
+                              std::vector<LinkId>& out) const {
+  out.clear();
+  const std::int32_t d = node_dist(from, dst_node);
+  if (d <= 0) return;
+  for (LinkId l : graph_.out_links(from))
+    if (node_dist(graph_.link(l).dst, dst_node) == d - 1) out.push_back(l);
+}
+
+void RoutingOracle::next_hops_from_field(const Graph& graph,
+                                         const std::vector<std::int32_t>& field,
+                                         NodeId from,
+                                         std::vector<LinkId>& out) {
+  if (field[from] <= 0) return;
+  for (LinkId l : graph.out_links(from))
+    if (field[graph.link(l).dst] == field[from] - 1) out.push_back(l);
+}
+
+std::int32_t BfsOracle::node_dist(NodeId from, NodeId dst_node) const {
+  return graph_.dist_to(dst_node)[from];
+}
+
+void BfsOracle::fill(NodeId dst_node, std::vector<std::int32_t>& out) const {
+  out = graph_.dist_to(dst_node);
+}
+
+void BfsOracle::next_hops(NodeId from, NodeId dst_node,
+                          std::vector<LinkId>& out) const {
+  out.clear();
+  next_hops_from_field(graph_, graph_.dist_to(dst_node), from, out);
+}
+
+}  // namespace hxmesh::topo

@@ -24,16 +24,37 @@ void Topology::finalize() {
     rank_of_node_[endpoints_[r]] = static_cast<std::int32_t>(r);
 }
 
+const RoutingOracle& Topology::routing_oracle() const {
+  if (oracle_) return *oracle_;
+  std::call_once(oracle_once_, [&] {
+    fallback_oracle_ = std::make_unique<BfsOracle>(graph_);
+  });
+  return *fallback_oracle_;
+}
+
 Topology::DistField Topology::dist_field(NodeId dst_node) const {
   {
     std::shared_lock lock(dist_mutex_);
     auto it = dist_cache_.find(dst_node);
-    if (it != dist_cache_.end()) return it->second;
+    if (it != dist_cache_.end()) {
+      detail::count_dist_cache_hit();
+      return it->second;
+    }
   }
-  // BFS outside the lock: the graph is immutable after construction, and
-  // concurrent engines should not serialize on each other's misses.
-  auto field = std::make_shared<const std::vector<std::int32_t>>(
-      graph_.dist_to(dst_node));
+  // The fill runs outside the lock: the graph is immutable after
+  // construction, and concurrent engines should not serialize on each
+  // other's misses. Endpoint destinations go through the oracle (closed
+  // form on every built-in family); switch destinations — which no hot
+  // path requests — keep the reverse BFS.
+  auto field = std::make_shared<std::vector<std::int32_t>>();
+  if (graph_.kind(dst_node) == NodeKind::kEndpoint) {
+    const RoutingOracle& oracle = routing_oracle();
+    oracle.fill(dst_node, *field);
+    detail::count_fill(oracle.closed_form());
+  } else {
+    *field = graph_.dist_to(dst_node);
+    detail::count_fill(false);
+  }
   std::unique_lock lock(dist_mutex_);
   auto it = dist_cache_.find(dst_node);
   if (it != dist_cache_.end()) return it->second;  // raced: keep the first
@@ -79,12 +100,27 @@ int Topology::diameter(int exact_limit) const {
     sources.resize(n);
     for (int i = 0; i < n; ++i) sources[i] = i;
   } else {
-    // Deterministic stratified sample; topologies here are symmetric enough
-    // that any source realizes the eccentricity.
-    int stride = std::max(1, n / 128);
+    // Deterministic stratified sample. The +1 skew makes successive
+    // sources sweep the intra-board/intra-leaf coordinate classes: a plain
+    // stride is typically a multiple of the row length, which would alias
+    // every source to one column and miss the true eccentricity on
+    // families that are only transitive up to those classes (HammingMesh
+    // boards, fat-tree leaves).
+    int stride = std::max(1, n / 128) + 1;
     for (int i = 0; i < n; i += stride) sources.push_back(i);
   }
   int best = 0;
+  const RoutingOracle& oracle = routing_oracle();
+  if (oracle.closed_form()) {
+    // O(1) per pair: no graph search at all.
+    for (int s : sources) {
+      const NodeId sn = endpoint_node(s);
+      for (int t = 0; t < n; ++t)
+        best = std::max(best,
+                        static_cast<int>(oracle.node_dist(sn, endpoint_node(t))));
+    }
+    return best;
+  }
   for (int s : sources) {
     auto dist = graph_.dist_from(endpoint_node(s));
     for (int t = 0; t < n; ++t)

@@ -13,11 +13,12 @@
 /// \file
 /// \brief Topology — the base class of every network family (HammingMesh,
 /// fat tree, Dragonfly, HyperX, torus), modeling one network plane with a
-/// thread-safe BFS routing oracle.
+/// closed-form routing oracle and a thread-safe distance-field cache.
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 
 #include "core/rng.hpp"
 #include "topo/graph.hpp"
+#include "topo/routing_oracle.hpp"
 
 namespace hxmesh::topo {
 
@@ -77,28 +79,42 @@ class Topology {
     sample_path(src, dst, rng, out);
   }
 
-  /// Network diameter in cables between accelerators, by BFS. For machines
-  /// with more than `exact_limit` endpoints a deterministic sample of
-  /// source endpoints is used (all families here are near vertex-transitive,
-  /// so sampling finds the true eccentricity in practice).
+  /// Network diameter in cables between accelerators, answered through the
+  /// routing oracle (closed-form node_dist per endpoint pair; BFS only on
+  /// fallback oracles). For machines with more than `exact_limit` endpoints
+  /// a deterministic sample of source endpoints is used (all families here
+  /// are near vertex-transitive, so sampling finds the true eccentricity in
+  /// practice).
   int diameter(int exact_limit = 2048) const;
 
   /// Closed-form diameter per the formulas in Section III-B of the paper.
   virtual int diameter_formula() const { return diameter(); }
 
-  /// Minimal hop distance in cables between two accelerators. Default uses
-  /// the cached BFS field; topologies with closed forms override it.
+  /// Minimal hop distance in cables between two accelerators. The default
+  /// asks a closed-form routing oracle directly (O(1)) and falls back to
+  /// the cached distance field otherwise; topologies with endpoint-level
+  /// closed forms still override it to skip the virtual oracle hop.
   virtual int hop_distance(int src, int dst) const {
+    const RoutingOracle& oracle = routing_oracle();
+    if (oracle.closed_form())
+      return oracle.node_dist(endpoint_node(src), endpoint_node(dst));
     return (*dist_field(endpoint_node(dst)))[endpoint_node(src)];
   }
 
-  /// Hop-distance field to `dst_node` (cached reverse BFS; bounded cache).
-  /// Used by the routing oracle of the packet-level simulator. Thread-safe:
-  /// concurrent engines share one Topology, so the cache is guarded by a
-  /// shared_mutex and fields are handed out as shared_ptr — a field stays
-  /// alive for its users even after FIFO eviction drops it from the cache.
+  /// Hop-distance field to `dst_node` (bounded cache; misses are rendered
+  /// by the routing oracle — an O(V) closed-form fill on every built-in
+  /// family, reverse BFS otherwise). Used by the packet-level simulator's
+  /// route tables. Thread-safe: concurrent engines share one Topology, so
+  /// the cache is guarded by a shared_mutex and fields are handed out as
+  /// shared_ptr — a field stays alive for its users even after FIFO
+  /// eviction drops it from the cache.
   using DistField = std::shared_ptr<const std::vector<std::int32_t>>;
   DistField dist_field(NodeId dst_node) const;
+
+  /// The routing oracle of this topology: every built-in family installs a
+  /// closed-form oracle at construction; anything else gets a lazily
+  /// created BfsOracle. Valid for the topology's lifetime.
+  const RoutingOracle& routing_oracle() const;
 
  protected:
   /// Registers a new endpoint node; returns its rank.
@@ -107,12 +123,22 @@ class Topology {
   NodeId add_switch();
   /// Must be called once after all nodes exist (builds rank lookup).
   void finalize();
+  /// Installs the family's closed-form oracle (call at the end of the
+  /// constructor, once the graph and all coordinate tables exist).
+  void set_routing_oracle(std::unique_ptr<RoutingOracle> oracle) {
+    oracle_ = std::move(oracle);
+  }
 
   Graph graph_;
 
  private:
   std::vector<NodeId> endpoints_;
   std::vector<std::int32_t> rank_of_node_;
+  // Set by the family constructor (closed form) or lazily on first use
+  // (BFS fallback, guarded by oracle_once_).
+  std::unique_ptr<RoutingOracle> oracle_;
+  mutable std::unique_ptr<RoutingOracle> fallback_oracle_;
+  mutable std::once_flag oracle_once_;
   mutable std::shared_mutex dist_mutex_;
   mutable std::unordered_map<NodeId, DistField> dist_cache_;
   // FIFO eviction order; a deque so evicting the oldest entry is O(1)

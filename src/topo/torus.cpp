@@ -5,6 +5,23 @@
 
 namespace hxmesh::topo {
 
+namespace {
+
+// Closed-form oracle: a torus has no switches, so node_dist is the ring
+// metric between the two endpoints' coordinates.
+class TorusOracle final : public RoutingOracle {
+ public:
+  explicit TorusOracle(const Torus& t) : RoutingOracle(t.graph()), t_(t) {}
+  std::int32_t node_dist(NodeId from, NodeId dst_node) const override {
+    return t_.hop_distance(t_.rank_of(from), t_.rank_of(dst_node));
+  }
+
+ private:
+  const Torus& t_;
+};
+
+}  // namespace
+
 Torus::Torus(TorusParams params) : params_(params) {
   const int X = params_.width, Y = params_.height;
   if (X < 1 || Y < 1) throw std::invalid_argument("Torus: bad dimensions");
@@ -38,6 +55,7 @@ Torus::Torus(TorusParams params) : params_(params) {
       connect(rank_at(gx, Y - 1), rank_at(gx, 0), false);
 
   finalize();
+  set_routing_oracle(std::make_unique<TorusOracle>(*this));
 }
 
 std::string Torus::name() const {

@@ -12,6 +12,7 @@
 
 #include "cli/cli.hpp"
 #include "core/fsio.hpp"
+#include "topo/routing_oracle.hpp"
 
 namespace hxmesh {
 namespace {
@@ -328,6 +329,62 @@ TEST(Cli, CacheStatsAndClear) {
 
   EXPECT_EQ(run({"cache"}).code, 2);
   EXPECT_EQ(run({"cache", "defrag"}).code, 2);
+}
+
+TEST(Cli, CacheStatsExposeRoutingOracleCounters) {
+  const std::string dir = fresh_dir("cli_routing_counters");
+  // A packet run builds route tables — distance fields must come from the
+  // closed-form oracle, never BFS, on a structured topology.
+  const topo::RoutingCounters before = topo::routing_counters();
+  ASSERT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--engine", "packet",
+                 "--pattern", "shift:1:msg=64KiB", "--threads", "1",
+                 "--cache-dir", dir})
+                .code,
+            0);
+  const topo::RoutingCounters after = topo::routing_counters();
+  EXPECT_GT(after.oracle_fills, before.oracle_fills);
+  EXPECT_EQ(after.bfs_fills, before.bfs_fills)
+      << "a structured topology fell back to BFS on the hot path";
+
+  auto stats = run({"cache", "stats", "--cache-dir", dir});
+  EXPECT_EQ(stats.code, 0);
+  EXPECT_NE(stats.out.find("routing: "), std::string::npos) << stats.out;
+  EXPECT_NE(stats.out.find("oracle fills"), std::string::npos) << stats.out;
+
+  // Sweeps report the same counters next to the cache summary.
+  auto sweep = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern",
+                    "shift:1:msg=64KiB", "--threads", "1", "--cache-dir",
+                    dir});
+  EXPECT_EQ(sweep.code, 0);
+  EXPECT_NE(sweep.err.find("routing: "), std::string::npos) << sweep.err;
+}
+
+TEST(Cli, ProgressFlagIsSweepOnly) {
+  EXPECT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                 "--progress"})
+                .code,
+            2);
+  EXPECT_EQ(run({"shard", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                 "--shards", "2", "--shard", "0", "--progress"})
+                .code,
+            2);
+}
+
+TEST(Cli, ShardedSweepProgressReportsEveryShard) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  const std::string dir = fresh_dir("cli_sweep_progress");
+  ensure_dir(dir);
+  auto r = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern",
+                "shift:1:msg=64KiB", "--pattern", "perm:msg=64KiB",
+                "--threads", "1", "--shards", "2", "--workers", "2",
+                "--progress", "--cache-dir", dir + "/cache"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* line :
+       {"progress: shard 0 ok", "progress: shard 1 ok", "2/2 shards done"})
+    EXPECT_NE(r.err.find(line), std::string::npos) << r.err;
 }
 
 }  // namespace

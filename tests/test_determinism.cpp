@@ -94,14 +94,17 @@ TEST(EventQueueDeterminism, EmptyRefillCycles) {
 
 // ------------------------------------------------------------ FlowSolver --
 
-// The pre-optimization progressive filling, verbatim: every round rescans
-// all links for the fair-share minimum and all subflows for saturation.
-// Kept as the executable specification of solve()'s exact semantics.
+// The unoptimized progressive filling, verbatim: every round rescans all
+// links for the fair-share minimum and all subflows for saturation, and
+// sampling is one serial loop over the flows (each drawing from its own
+// counter-seeded substream, exactly like the production sampler's
+// definition). Kept as the executable specification of solve()'s exact
+// semantics — the parallel chunked sampler and the incremental filling
+// must both be invisible here.
 void solve_reference(const topo::Topology& topology,
                      const flow::FlowSolverConfig& config,
                      std::vector<flow::Flow>& flows) {
   const topo::Graph& g = topology.graph();
-  Rng rng(config.seed);
 
   struct Subflow {
     int flow = 0;
@@ -116,6 +119,7 @@ void solve_reference(const topo::Topology& topology,
   for (std::size_t f = 0; f < flows.size(); ++f) {
     flows[f].rate = 0.0;
     if (flows[f].src == flows[f].dst) continue;
+    Rng rng = Rng::substream(config.seed, f);
     for (int k = 0; k < config.paths_per_flow; ++k) {
       topology.sample_path_stratified(flows[f].src, flows[f].dst, k,
                                       config.paths_per_flow, rng, path);
@@ -208,6 +212,33 @@ TEST(FlowSolverDeterminism, RandomPermutationsMatchReference) {
   }
 }
 
+// Intra-cell parallelism: path sampling fans over a worker pool, and the
+// rates must be bit-identical for every worker count. 4096 flows keeps the
+// set above the solver's parallel-sampling threshold so the wide run
+// actually exercises the pool.
+TEST(FlowSolverDeterminism, RatesIndependentOfSampleWorkerCount) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 8, .y = 8});
+  const int n = hx.num_endpoints();
+  std::vector<flow::Flow> flows;
+  for (int shift = 1; shift <= 16; ++shift)
+    for (const flow::Flow& f : flow::shift_pattern(n, shift))
+      flows.push_back(f);
+  ASSERT_GE(flows.size(), 2048u) << "grow the flow set: it no longer "
+                                    "reaches the parallel sampling path";
+  std::vector<flow::Flow> serial = flows, wide = flows, wider = flows;
+  flow::FlowSolverConfig config;
+  config.sample_threads = 1;
+  flow::FlowSolver(hx, config).solve(serial);
+  config.sample_threads = 3;  // odd width: chunks wrap unevenly
+  flow::FlowSolver(hx, config).solve(wide);
+  config.sample_threads = 8;
+  flow::FlowSolver(hx, config).solve(wider);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    ASSERT_EQ(serial[i].rate, wide[i].rate) << "flow " << i;
+    ASSERT_EQ(serial[i].rate, wider[i].rate) << "flow " << i;
+  }
+}
+
 TEST(FlowSolverDeterminism, SelfFlowsAndRepeatSolvesMatchReference) {
   topo::Torus torus({.width = 4, .height = 4});
   std::vector<flow::Flow> flows = {{0, 5}, {3, 3}, {5, 0}, {1, 1}, {2, 14}};
@@ -227,8 +258,8 @@ TEST(FlowSolverDeterminism, SelfFlowsAndRepeatSolvesMatchReference) {
 
 #ifdef HXMESH_SOURCE_DIR
 // The full 15-row pinned grid (flow and packet engines, up to
-// hx2mesh:64x64) rendered through the harness must stay byte-identical to
-// the committed baseline: the optimizations change speed, not results.
+// hx2mesh:64x64) rendered through the harness must stay byte-identical
+// to the committed baseline: the optimizations change speed, not results.
 TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
   const std::string base = std::string(HXMESH_SOURCE_DIR) + "/bench/baselines";
   const std::optional<std::string> grid_text =

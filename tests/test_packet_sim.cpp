@@ -3,6 +3,9 @@
 // buffers, and deadlock-free completion on HammingMesh.
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "sim/minimpi.hpp"
 #include "sim/packet_sim.hpp"
 #include "topo/fattree.hpp"
@@ -40,6 +43,39 @@ TEST(PacketSim, LargeMessageAchievesLinkBandwidth) {
   double rate = static_cast<double>(bytes) / seconds;
   EXPECT_GT(rate, 0.97 * kLinkBandwidthBps);
   EXPECT_LE(rate, kLinkBandwidthBps * 1.001);
+}
+
+// Route-table prebuilding is a warm-up, not a semantic switch: a run with
+// tables built in parallel up front must be bit-identical to a run that
+// builds them lazily during injection. 64 destinations keeps the set above
+// the prebuild threshold, so the parallel path really executes.
+TEST(PacketSim, PrebuiltRoutesLeaveSimulationBitIdentical) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 4, .y = 4});
+  const int n = hx.num_endpoints();
+  auto run = [&](bool prebuild) {
+    PacketSim sim(hx);
+    if (prebuild) {
+      std::vector<int> dsts(n);
+      for (int i = 0; i < n; ++i) dsts[i] = i;
+      sim.prebuild_routes(dsts);
+      sim.prebuild_routes(dsts);  // idempotent: already-built slots skip
+    }
+    for (int i = 0; i < n; ++i)
+      for (int k : {7, 21, 38})
+        sim.send_message(i, (i + k) % n, 24 * KiB, nullptr);
+    const picoseconds end = sim.run();
+    EXPECT_EQ(sim.unfinished_messages(), 0);
+    return std::tuple(end, sim.stats().packets_delivered,
+                      sim.stats().packet_hops,
+                      sim.stats().sum_packet_latency_s, sim.link_bytes());
+  };
+  const auto lazy = run(false);
+  const auto warm = run(true);
+  EXPECT_EQ(std::get<0>(lazy), std::get<0>(warm));
+  EXPECT_EQ(std::get<1>(lazy), std::get<1>(warm));
+  EXPECT_EQ(std::get<2>(lazy), std::get<2>(warm));
+  EXPECT_EQ(std::get<3>(lazy), std::get<3>(warm));
+  EXPECT_EQ(std::get<4>(lazy), std::get<4>(warm));
 }
 
 TEST(PacketSim, TwoSendersShareEjectionLinkFairly) {

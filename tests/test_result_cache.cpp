@@ -158,7 +158,8 @@ TEST(ResultCache, SchemaMismatchIsAMiss) {
   const std::string path = dir + "/" + key + ".json";
   auto text = read_file(path);
   ASSERT_TRUE(text.has_value());
-  const std::string marker = "\"schema\":1";
+  const std::string marker =
+      "\"schema\":" + std::to_string(ResultCache::kSchemaVersion);
   const auto pos = text->find(marker);
   ASSERT_NE(pos, std::string::npos);
   text->replace(pos, marker.size(), "\"schema\":999");

@@ -4,6 +4,7 @@
 // orchestrator retries failed shards.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <map>
@@ -234,6 +235,50 @@ TEST(ShardOrchestrator, RunsEveryShardAndRetriesFailures) {
   EXPECT_EQ(runs[3].attempts, 3);  // exhausted max_attempts
   EXPECT_EQ(calls[1], 3);
   EXPECT_EQ(calls[3], 3);
+}
+
+TEST(ShardOrchestrator, ProgressObservesEveryAttemptAndCompletion) {
+  // Shard 1 fails once before succeeding, so attempts exceed shards: the
+  // callback must fire once per attempt, with a monotonically
+  // non-decreasing completed count that ends exactly at the shard total.
+  std::mutex mutex;
+  std::map<unsigned, int> calls;
+  auto launch = [&](unsigned shard) {
+    std::lock_guard lock(mutex);
+    return shard == 1 && ++calls[shard] == 1 ? 3 : 0;
+  };
+  struct Event {
+    unsigned shard;
+    int attempts;
+    int exit_code;
+    unsigned completed;
+    unsigned total;
+  };
+  std::vector<Event> events;
+  auto progress = [&](const engine::ShardRun& run, unsigned completed,
+                      unsigned total) {
+    // Serialized by the orchestrator lock: no extra synchronization.
+    events.push_back({run.shard, run.attempts, run.exit_code, completed,
+                      total});
+  };
+  const auto runs = engine::run_shard_jobs(4, 2, 3, launch, progress);
+  ASSERT_EQ(runs.size(), 4u);
+  ASSERT_EQ(events.size(), 5u);  // 4 shards + 1 retried attempt
+  unsigned last_completed = 0;
+  std::vector<char> terminal_seen(4, 0);
+  for (const Event& e : events) {
+    EXPECT_EQ(e.total, 4u);
+    EXPECT_GE(e.completed, last_completed);
+    last_completed = e.completed;
+    if (e.exit_code == 0) terminal_seen[e.shard] = 1;
+  }
+  EXPECT_EQ(events.back().completed, 4u);
+  for (char seen : terminal_seen) EXPECT_TRUE(seen);
+  // The retried shard surfaced its failed first attempt to the observer.
+  const bool saw_failure =
+      std::any_of(events.begin(), events.end(),
+                  [](const Event& e) { return e.exit_code != 0; });
+  EXPECT_TRUE(saw_failure);
 }
 
 TEST(ShardOrchestrator, LauncherExceptionsCountAsFailedAttempts) {

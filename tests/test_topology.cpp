@@ -3,7 +3,11 @@
 // sampling validity.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "topo/dragonfly.hpp"
 #include "topo/fattree.hpp"
@@ -348,6 +352,53 @@ TEST(HammingMesh, MeshOnlyAcceleratorsOnBigBoards) {
 TEST(HammingMesh, BadParamsThrow) {
   EXPECT_THROW(HammingMesh({.a = 0, .b = 2, .x = 4, .y = 4}),
                std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Diameters --
+// diameter() (oracle-backed eccentricity search) and diameter_formula()
+// (Section III-B closed forms) must agree for every family — including
+// the paper's full-size instances, which the O(1)-per-pair oracle path
+// makes cheap to sweep. HyperX is the deliberate exception: its formula
+// reports the Hx1Mesh rail-equivalent of Table II, not the switch-graph
+// eccentricity (see hyperx.hpp), so it is checked separately.
+TEST(Diameters, FormulaMatchesOracleDiameterForEveryFamily) {
+  std::vector<std::pair<std::string, std::unique_ptr<Topology>>> zoo;
+  auto add = [&](std::unique_ptr<Topology> t) {
+    std::string name = t->name() + " (" +
+                       std::to_string(t->num_endpoints()) + " endpoints)";
+    zoo.emplace_back(std::move(name), std::move(t));
+  };
+  // HammingMesh: paper design points, rail trees, asymmetric boards.
+  add(std::make_unique<HammingMesh>(HxMeshParams{.a = 2, .b = 2, .x = 16, .y = 16}));
+  add(std::make_unique<HammingMesh>(HxMeshParams{.a = 2, .b = 2, .x = 64, .y = 64}));
+  add(std::make_unique<HammingMesh>(HxMeshParams{.a = 4, .b = 4, .x = 8, .y = 8}));
+  add(std::make_unique<HammingMesh>(HxMeshParams{.a = 4, .b = 4, .x = 32, .y = 32}));
+  add(std::make_unique<HammingMesh>(HxMeshParams{.a = 1, .b = 1, .x = 32, .y = 32}));
+  add(std::make_unique<HammingMesh>(HxMeshParams{.a = 3, .b = 2, .x = 4, .y = 3}));
+  add(std::make_unique<HammingMesh>(
+      HxMeshParams{.a = 2, .b = 2, .x = 6, .y = 6, .radix = 8}));
+  // Torus: even, odd, and the paper's sizes.
+  add(std::make_unique<Torus>(TorusParams{.width = 32, .height = 32}));
+  add(std::make_unique<Torus>(TorusParams{.width = 6, .height = 10}));
+  add(std::make_unique<Torus>(TorusParams{.width = 128, .height = 128}));
+  // Fat trees: two-level (all tapers) and three-level.
+  add(std::make_unique<FatTree>(FatTreeParams{.num_endpoints = 1024}));
+  add(std::make_unique<FatTree>(
+      FatTreeParams{.num_endpoints = 1024, .taper = 0.5}));
+  add(std::make_unique<FatTree>(
+      FatTreeParams{.num_endpoints = 1024, .taper = 0.25}));
+  add(std::make_unique<FatTree>(FatTreeParams{.num_endpoints = 16384}));
+  // Dragonfly: both paper design points.
+  add(std::make_unique<Dragonfly>(DragonflyParams{.routers_per_group = 16,
+                                                  .endpoints_per_router = 8,
+                                                  .global_per_router = 8,
+                                                  .groups = 8}));
+  add(std::make_unique<Dragonfly>(DragonflyParams{.routers_per_group = 32,
+                                                  .endpoints_per_router = 17,
+                                                  .global_per_router = 16,
+                                                  .groups = 30}));
+  for (const auto& [name, t] : zoo)
+    EXPECT_EQ(t->diameter(), t->diameter_formula()) << name;
 }
 
 // Rank/coordinate round-trips.

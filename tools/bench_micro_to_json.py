@@ -1,24 +1,34 @@
 #!/usr/bin/env python3
-"""Convert google-benchmark JSON into flat BENCH_micro.json rows, and
-soft-gate them against a committed baseline.
+"""Convert google-benchmark JSON into flat BENCH_micro.json rows and gate
+them against a committed baseline.
 
 Conversion keeps one row per benchmark (aggregate rows like `_mean` are
 folded: the median aggregate wins when repetitions were used) with the
 fields CI tracks: name, real/cpu time in ns, and items/s when reported.
 
 With --check BASELINE the current rows are compared against the committed
-baseline. The gate is SOFT by design — microbenchmark runners are noisy,
-so regressions print GitHub `::warning::` annotations and the exit status
-stays 0. Only structural problems (unreadable input, empty benchmark set,
-a benchmark disappearing entirely) fail the step: those mean the perf job
-itself broke, not that the machine was slow.
+baseline at two thresholds:
+
+  - ratios above --max-regress (default 1.75) print GitHub `::warning::`
+    annotations but keep exit status 0 — hosted runners are noisy;
+  - ratios above --fail-above (default 2.0, overridable via
+    $HXMESH_PERF_FAIL_RATIO) FAIL the step: even a noisy runner does not
+    double a benchmark's runtime, so past that point the regression is
+    real. Set --fail-above 0 to disable the hard gate entirely.
+
+Structural problems (unreadable input, empty benchmark set, a benchmark
+disappearing entirely) always fail: those mean the perf job itself broke.
+
+Regenerate the committed baseline with tools/update_bench_baseline.py.
 
 usage: bench_micro_to_json.py GOOGLE_BENCH.json -o BENCH_micro.json \
-           [--check bench/baselines/bench_micro.json] [--max-regress 1.75]
+           [--check bench/baselines/bench_micro.json] \
+           [--max-regress 1.75] [--fail-above 2.0]
 """
 
 import argparse
 import json
+import os
 import sys
 
 AGGREGATE_PRIORITY = {"median": 0, "mean": 1}
@@ -71,7 +81,21 @@ def main():
     parser.add_argument("--max-regress", type=float, default=1.75,
                         help="warn when real_time exceeds baseline * this "
                              "factor (default 1.75; generous for CI noise)")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        help="fail when real_time exceeds baseline * this "
+                             "factor (default 2.0, or "
+                             "$HXMESH_PERF_FAIL_RATIO; 0 disables the hard "
+                             "gate)")
     args = parser.parse_args()
+    if args.fail_above is None:
+        env = os.environ.get("HXMESH_PERF_FAIL_RATIO", "").strip()
+        try:
+            args.fail_above = float(env) if env else 2.0
+        except ValueError:
+            print(f"bench_micro_to_json: bad HXMESH_PERF_FAIL_RATIO "
+                  f"{env!r} (want a number; 0 disables the hard gate)",
+                  file=sys.stderr)
+            return 2
 
     rows = convert(load(args.input))
     if not rows:
@@ -90,17 +114,28 @@ def main():
         print(f"bench_micro_to_json: benchmarks missing from run: {missing}",
               file=sys.stderr)
         return 1  # a vanished benchmark is a broken job, not noise
-    regressions = 0
+    warnings = 0
+    failures = 0
     for name, base in baseline.items():
         want, got = base.get("real_time_ns"), rows[name].get("real_time_ns")
         if not want or not got:
             continue
         ratio = got / want
-        status = "regressed" if ratio > args.max_regress else "ok"
+        hard = args.fail_above > 0 and ratio > args.fail_above
+        status = ("FAILED" if hard
+                  else "regressed" if ratio > args.max_regress else "ok")
         print(f"  {name}: {want / 1e6:.3f} ms -> {got / 1e6:.3f} ms "
               f"({ratio:.2f}x baseline, {status})")
-        if ratio > args.max_regress:
-            regressions += 1
+        if hard:
+            failures += 1
+            print(f"::error title=bench_micro regression::{name} is "
+                  f"{ratio:.2f}x its baseline ({got / 1e6:.3f} ms vs "
+                  f"{want / 1e6:.3f} ms), past the hard gate at "
+                  f"{args.fail_above:.2f}x; fix the regression or "
+                  f"regenerate the baseline with "
+                  f"tools/update_bench_baseline.py")
+        elif ratio > args.max_regress:
+            warnings += 1
             print(f"::warning title=bench_micro regression::{name} is "
                   f"{ratio:.2f}x its baseline ({got / 1e6:.3f} ms vs "
                   f"{want / 1e6:.3f} ms); investigate or regenerate "
@@ -109,9 +144,13 @@ def main():
         if name not in baseline:
             print(f"::notice title=bench_micro new benchmark::{name} has no "
                   f"baseline row yet; add it to bench/baselines/bench_micro.json")
-    if regressions:
-        print(f"bench_micro_to_json: {regressions} soft-gate warning(s) "
+    if warnings:
+        print(f"bench_micro_to_json: {warnings} soft-gate warning(s) "
               f"(not failing: perf runners are noisy)")
+    if failures:
+        print(f"bench_micro_to_json: {failures} benchmark(s) past the "
+              f"{args.fail_above:.2f}x hard gate", file=sys.stderr)
+        return 1
     return 0
 
 

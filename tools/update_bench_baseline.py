@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate bench/baselines/bench_micro.json as a reproducible one-liner.
+
+Runs the bench_micro binary with pinned google-benchmark settings, folds
+the output through the same conversion bench_micro_to_json.py applies in
+CI, and rewrites the committed baseline. Run it from the repository root
+after a deliberate performance change (and commit the result with the
+change that caused it):
+
+    python3 tools/update_bench_baseline.py [--build-dir build] \
+        [--repetitions 3] [--baseline bench/baselines/bench_micro.json]
+
+Pass --input GOOGLE_BENCH.json to convert an existing benchmark run
+instead of executing the binary (useful on machines where the run
+happened elsewhere).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_micro_to_json  # noqa: E402  (shared conversion, one source of truth)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree containing bench_micro (default: build)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="google-benchmark repetitions (default: 3, "
+                             "matching CI; the median aggregate is kept)")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/bench_micro.json",
+                        help="baseline file to rewrite")
+    parser.add_argument("--input", metavar="GOOGLE_BENCH.json",
+                        help="convert this existing --benchmark_format=json "
+                             "output instead of running the binary")
+    args = parser.parse_args()
+
+    if args.input:
+        doc = bench_micro_to_json.load(args.input)
+    else:
+        exe = os.path.join(args.build_dir, "bench_micro")
+        if not os.path.exists(exe):
+            print(f"update_bench_baseline: {exe} not found — build it with\n"
+                  f"  cmake --build {args.build_dir} --target bench_micro",
+                  file=sys.stderr)
+            return 2
+        cmd = [exe, "--benchmark_format=json",
+               f"--benchmark_repetitions={args.repetitions}"]
+        print("update_bench_baseline: running", " ".join(cmd))
+        run = subprocess.run(cmd, capture_output=True, text=True)
+        if run.returncode != 0:
+            sys.stderr.write(run.stderr)
+            print(f"update_bench_baseline: bench_micro exited "
+                  f"{run.returncode}", file=sys.stderr)
+            return run.returncode
+        try:
+            doc = json.loads(run.stdout)
+        except json.JSONDecodeError as e:
+            print(f"update_bench_baseline: bench_micro output is not JSON: "
+                  f"{e}", file=sys.stderr)
+            return 2
+
+    rows = bench_micro_to_json.convert(doc)
+    if not rows:
+        print("update_bench_baseline: no benchmarks in input",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline, "w", encoding="utf-8") as f:
+        json.dump(list(rows.values()), f, indent=2)
+        f.write("\n")
+    print(f"update_bench_baseline: wrote {len(rows)} rows to "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
