@@ -89,6 +89,43 @@ static void BM_FlowSolverAlltoallLarge(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowSolverAlltoallLarge);
 
+// The progressive-filling round loop, serial vs chunked-parallel, on a
+// 64x64 permutation (the instance class whose round passes cross the
+// solver's parallel threshold). Identical rates by construction — the
+// pair measures pure wall-clock: on a 1-vCPU host Parallel tracks Serial
+// plus chunk bookkeeping; with >= 4 cores it pulls ahead.
+static void BM_FlowSolverRoundsSerial(benchmark::State& state) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  flow::FlowSolverConfig config;
+  config.solve_threads = 1;
+  flow::FlowSolver solver(hx, config);
+  Rng rng(3);
+  const auto pattern = flow::random_permutation(hx.num_endpoints(), rng);
+  for (auto _ : state) {
+    auto flows = pattern;
+    solver.solve(flows);
+    benchmark::DoNotOptimize(flows.front().rate);
+  }
+  state.SetItemsProcessed(state.iterations() * pattern.size());
+}
+BENCHMARK(BM_FlowSolverRoundsSerial);
+
+static void BM_FlowSolverRoundsParallel(benchmark::State& state) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  flow::FlowSolverConfig config;
+  config.solve_threads = 4;
+  flow::FlowSolver solver(hx, config);
+  Rng rng(3);
+  const auto pattern = flow::random_permutation(hx.num_endpoints(), rng);
+  for (auto _ : state) {
+    auto flows = pattern;
+    solver.solve(flows);
+    benchmark::DoNotOptimize(flows.front().rate);
+  }
+  state.SetItemsProcessed(state.iterations() * pattern.size());
+}
+BENCHMARK(BM_FlowSolverRoundsParallel);
+
 static void BM_PacketForwardHeavy(benchmark::State& state) {
   // try_forward-dominated run: every endpoint keeps four distant messages
   // in flight, so switches arbitrate full input buffers the whole time.
@@ -196,5 +233,27 @@ static void BM_HarnessGrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HarnessGrid)->Arg(1)->Arg(4);
+
+static void BM_HarnessBatchedSetup(benchmark::State& state) {
+  // Three grids whose topology axes repeat two specs: batched execution
+  // builds each spec once per sweep instead of once per (grid, topology)
+  // slot, so this measures the amortized setup path end to end (topology
+  // builds, oracle fills, measured rings, then the cells themselves).
+  engine::SweepConfig a;
+  a.topologies = {"hx2mesh:8x8", "torus:16x16"};
+  a.patterns = {flow::parse_traffic("perm:msg=256KiB")};
+  engine::SweepConfig b;
+  b.topologies = {"hx2mesh:8x8"};
+  b.patterns = {flow::parse_traffic("shift:3:msg=256KiB")};
+  engine::SweepConfig c;
+  c.topologies = {"torus:16x16", "hx2mesh:8x8"};
+  c.patterns = {flow::parse_traffic("shift:7:msg=256KiB")};
+  for (auto _ : state) {
+    engine::ExperimentHarness harness(2);
+    auto rows = harness.run_grids({{a, {}}, {b, {}}, {c, {}}});
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_HarnessBatchedSetup);
 
 BENCHMARK_MAIN();

@@ -14,6 +14,7 @@
 #include "core/subprocess.hpp"
 #include "engine/harness.hpp"
 #include "engine/shard.hpp"
+#include "flow/flow_sim.hpp"
 #include "topo/routing_oracle.hpp"
 
 namespace hxmesh::cli {
@@ -266,6 +267,21 @@ void report_routing(std::ostream& out) {
       << " dist-cache hits (this process)\n";
 }
 
+// Batched-execution observability: how much per-cell setup the topology
+// groups amortized (builds + engine setup reused by co-scheduled cells;
+// the dist-cache hits of the routing line are the amortized fills/route
+// tables) and how the flow solver's filling rounds executed.
+void report_batching(std::ostream& out) {
+  const engine::BatchCounters b = engine::batch_counters();
+  const flow::SolverCounters s = flow::solver_counters();
+  out << "batch: " << b.topo_groups << " topology groups, "
+      << b.topo_builds_saved << " builds saved, " << b.engines_saved
+      << " engine setups reused, " << b.cells_executed
+      << " cells executed (this process)\n"
+      << "solver rounds: " << s.rounds_parallel << " parallel, "
+      << s.rounds_serial << " serial (this process)\n";
+}
+
 void report_cache(const engine::ResultCache& cache, std::ostream& err) {
   const std::size_t hits = cache.hits();
   const std::size_t misses = cache.misses();
@@ -275,6 +291,7 @@ void report_cache(const engine::ResultCache& cache, std::ostream& err) {
   err << "cache: " << hits << " hits, " << misses << " misses (" << fmt(pct, 1)
       << "% hit rate) in " << cache.dir() << "\n";
   report_routing(err);
+  report_batching(err);
 }
 
 std::string shard_meta_dir(const std::string& cache_dir) {
@@ -594,6 +611,7 @@ int do_cache(const std::vector<std::string>& args, std::size_t start,
         << "entries: " << stats.entries << "\n"
         << "bytes: " << stats.bytes << "\n";
     report_routing(out);
+    report_batching(out);
     const topo::RoutingCounters c = topo::routing_counters();
     if (c.oracle_fills + c.bfs_fills + c.dist_cache_hits == 0)
       out << "  (counters are per-process: run or sweep in the same "

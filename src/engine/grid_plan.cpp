@@ -31,6 +31,16 @@ GridPlan::GridPlan(std::vector<GridSpec> grids) : grids_(std::move(grids)) {
     for (std::size_t ti = 0; ti < dims.nt; ++ti) {
       const std::size_t slot = topo_specs_.size();
       topo_specs_.push_back(config.topologies[ti]);
+      // Batch slots by spec string (first-appearance numbering): repeated
+      // topologies — across grids or within one axis — share one build.
+      slot_batch_.push_back(batch_specs_.size());
+      for (std::size_t b = 0; b < batch_specs_.size(); ++b)
+        if (batch_specs_[b] == config.topologies[ti]) {
+          slot_batch_.back() = b;
+          break;
+        }
+      if (slot_batch_.back() == batch_specs_.size())
+        batch_specs_.push_back(config.topologies[ti]);
       for (std::size_t ei = 0; ei < dims.ne; ++ei) {
         Job job;
         job.first_cell = total_cells_;

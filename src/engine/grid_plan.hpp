@@ -122,6 +122,27 @@ class GridPlan {
     return topo_specs_[slot];
   }
 
+  // -- topology batches: slots sharing one spec string -------------------
+
+  /// \brief Number of distinct topology spec strings across all grids.
+  /// Slots of one spec share a batch, so batched execution builds each
+  /// topology — and amortizes its oracle fills, dist fields, and route
+  /// tables — once per batch instead of once per (grid, topology) slot.
+  std::size_t num_topo_batches() const { return batch_specs_.size(); }
+  /// \brief Spec string of topology batch `batch`.
+  const std::string& topo_batch_spec(std::size_t batch) const {
+    return batch_specs_[batch];
+  }
+  /// \brief Batch of topology slot `slot` (batches are numbered in first-
+  /// appearance order of their spec, so the mapping is deterministic).
+  std::size_t slot_batch(std::size_t slot) const {
+    return slot_batch_[slot];
+  }
+  /// \brief Topology batch of job `j`.
+  std::size_t job_topo_batch(std::size_t j) const {
+    return slot_batch_[jobs_[j].topo_slot];
+  }
+
   // -- sharding ----------------------------------------------------------
 
   /// \brief Half-open cell range `[lo, hi)` of shard `shard` of `shards`.
@@ -158,6 +179,8 @@ class GridPlan {
   std::vector<Grid> dims_;
   std::vector<Job> jobs_;
   std::vector<std::string> topo_specs_;
+  std::vector<std::string> batch_specs_;   // distinct specs, first-seen order
+  std::vector<std::size_t> slot_batch_;    // slot -> batch
   std::size_t total_cells_ = 0;
   std::string fingerprint_;
 };

@@ -1,13 +1,29 @@
 #include "engine/harness.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/json.hpp"
 
 namespace hxmesh::engine {
+
+namespace {
+std::atomic<std::uint64_t> g_topo_groups{0};
+std::atomic<std::uint64_t> g_topo_builds_saved{0};
+std::atomic<std::uint64_t> g_engine_groups{0};
+std::atomic<std::uint64_t> g_engines_saved{0};
+std::atomic<std::uint64_t> g_cells_executed{0};
+}  // namespace
+
+BatchCounters batch_counters() {
+  return {g_topo_groups.load(), g_topo_builds_saved.load(),
+          g_engine_groups.load(), g_engines_saved.load(),
+          g_cells_executed.load()};
+}
 
 std::vector<SweepRow> ExperimentHarness::run_grid(
     const SweepConfig& config, const std::vector<std::string>& labels,
@@ -67,37 +83,132 @@ std::vector<SweepRow> ExperimentHarness::run_cells(const GridPlan& plan,
     return false;
   };
 
-  // Build every needed topology once, in parallel; all of its jobs share
-  // it (dist_field caching is thread-safe, so this is sound and warm).
-  // Jobs (and even topology construction) are skipped entirely when every
-  // one of their cells came out of the cache.
+  // The jobs that still have work after the probe. Jobs — and their
+  // topology builds — are skipped entirely when every cell came out of
+  // the cache.
+  std::vector<std::size_t> exec_jobs;
+  for (std::size_t j : jobs)
+    if (job_has_miss(j)) exec_jobs.push_back(j);
+
+  // Batched setup: build one topology per distinct spec (the plan's
+  // topology batches), in parallel; every (grid, topology) slot of that
+  // spec shares the build — and with it the oracle fills, dist fields,
+  // and route-table caches (all thread-safe). Construction errors (bad
+  // specs) are configuration errors and propagate as-is.
   std::vector<std::unique_ptr<topo::Topology>> topologies(
-      plan.num_topo_slots());
-  std::vector<std::size_t> slots;
+      plan.num_topo_batches());
+  std::vector<std::size_t> batches;
+  std::size_t slots_needed = 0;
   {
-    std::vector<char> needed(plan.num_topo_slots(), 0);
-    for (std::size_t j : jobs)
-      if (job_has_miss(j)) needed[plan.job_topo_slot(j)] = 1;
-    for (std::size_t s = 0; s < needed.size(); ++s)
-      if (needed[s]) slots.push_back(s);
+    std::vector<char> needed_batch(plan.num_topo_batches(), 0);
+    std::vector<char> needed_slot(plan.num_topo_slots(), 0);
+    for (std::size_t j : exec_jobs) {
+      needed_slot[plan.job_topo_slot(j)] = 1;
+      needed_batch[plan.job_topo_batch(j)] = 1;
+    }
+    for (std::size_t s = 0; s < needed_slot.size(); ++s)
+      if (needed_slot[s]) ++slots_needed;
+    for (std::size_t b = 0; b < needed_batch.size(); ++b)
+      if (needed_batch[b]) batches.push_back(b);
   }
-  pool_.parallel_for(slots.size(), [&](std::size_t k) {
-    topologies[slots[k]] = make_topology(plan.topo_slot_spec(slots[k]));
+  pool_.parallel_for(batches.size(), [&](std::size_t k) {
+    topologies[batches[k]] = make_topology(plan.topo_batch_spec(batches[k]));
   });
 
-  pool_.parallel_for(jobs.size(), [&](std::size_t k) {
-    const std::size_t j = jobs[k];
-    if (!job_has_miss(j)) return;
-    auto engine =
-        make_engine(plan.job_engine(j), *topologies[plan.job_topo_slot(j)]);
-    const auto [jl, jh] = plan.job_range(j);
-    for (std::size_t c = std::max(jl, lo); c < std::min(jh, hi); ++c) {
-      if (cached[c - lo]) continue;
-      SweepRow& row = rows[c - lo];
-      row.result = engine->run(row.pattern);
-      if (cache) cache->store(keys[c - lo], row.result);
+  // Group the executable jobs by (topology batch, engine name), in job
+  // order: each group runs its cells in plan order against one shared
+  // topology and ONE engine instance, so per-engine setup (the flow
+  // engine's measured ring, packet route-table warmup) amortizes across
+  // every co-scheduled cell of the group. Groups — not jobs — are the
+  // parallel unit.
+  struct Group {
+    std::size_t batch = 0;
+    const std::string* engine = nullptr;
+    std::vector<std::size_t> jobs;
+  };
+  std::vector<Group> groups;
+  for (std::size_t j : exec_jobs) {
+    const std::size_t b = plan.job_topo_batch(j);
+    const std::string& eng = plan.job_engine(j);
+    Group* group = nullptr;
+    for (Group& cand : groups)
+      if (cand.batch == b && *cand.engine == eng) {
+        group = &cand;
+        break;
+      }
+    if (!group) {
+      groups.push_back(Group{b, &eng, {}});
+      group = &groups.back();
+    }
+    group->jobs.push_back(j);
+  }
+
+  // A failing cell must not abort the sibling cells of its topology
+  // group (or any other group): record the error, keep draining, and
+  // rethrow the first failure in plan order — with the cell id — once
+  // everything else ran and was stored. Engine construction errors
+  // (unknown engine names) still propagate immediately: no cell of the
+  // group could run.
+  struct CellError {
+    std::size_t cell = 0;
+    std::string what;
+    bool invalid_argument = false;  // preserve the exit-2 error category
+  };
+  std::vector<CellError> errors;
+  std::mutex error_mutex;
+  std::atomic<std::uint64_t> executed{0};
+
+  pool_.parallel_for(groups.size(), [&](std::size_t k) {
+    const Group& group = groups[k];
+    auto engine = make_engine(*group.engine, *topologies[group.batch]);
+    for (std::size_t j : group.jobs) {
+      const auto [jl, jh] = plan.job_range(j);
+      for (std::size_t c = std::max(jl, lo); c < std::min(jh, hi); ++c) {
+        if (cached[c - lo]) continue;
+        SweepRow& row = rows[c - lo];
+        try {
+          row.result = engine->run(row.pattern);
+          if (cache) cache->store(keys[c - lo], row.result);
+        } catch (const std::invalid_argument& e) {
+          std::lock_guard lock(error_mutex);
+          errors.push_back({c, e.what(), true});
+          continue;
+        } catch (const std::exception& e) {
+          std::lock_guard lock(error_mutex);
+          errors.push_back({c, e.what(), false});
+          continue;
+        }
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   });
+
+  g_topo_groups.fetch_add(batches.size());
+  g_topo_builds_saved.fetch_add(slots_needed - batches.size());
+  g_engine_groups.fetch_add(groups.size());
+  g_engines_saved.fetch_add(exec_jobs.size() - groups.size());
+  g_cells_executed.fetch_add(executed.load());
+
+  if (!errors.empty()) {
+    std::sort(errors.begin(), errors.end(),
+              [](const CellError& a, const CellError& b) {
+                return a.cell < b.cell;
+              });
+    const SweepRow row = plan.cell_row(errors.front().cell);
+    std::string msg = "run_cells: cell " + std::to_string(errors.front().cell) +
+                      " (" + row.topology + ", " + row.engine + ", " +
+                      flow::pattern_spec(row.pattern) +
+                      ") failed: " + errors.front().what;
+    if (errors.size() > 1)
+      msg += " (+" + std::to_string(errors.size() - 1) +
+             " more failed cells; sibling cells of the group were still "
+             "executed and stored)";
+    // Keep the category of the first failure: an invalid pattern for the
+    // topology (bad ranks, bad spec) is a configuration error and must
+    // exit 2 from the CLI even though siblings were drained first.
+    if (errors.front().invalid_argument) throw std::invalid_argument(msg);
+    throw std::runtime_error(msg);
+  }
   return rows;
 }
 

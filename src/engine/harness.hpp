@@ -28,6 +28,31 @@
 
 namespace hxmesh::engine {
 
+/// \brief Process-wide counters of batched cell execution (since process
+/// start), mirroring topo::RoutingCounters: they make "setup work is
+/// amortized across co-scheduled cells" observable (`hxmesh cache stats`
+/// and sweep stderr), not assumed.
+struct BatchCounters {
+  /// Topology groups built: one shared graph build + oracle install (and
+  /// one dist-field/route-table cache) per distinct topology spec that had
+  /// cells to execute.
+  std::uint64_t topo_groups = 0;
+  /// Duplicate topology builds avoided: (grid, topology) slots that
+  /// reused another slot's built topology instead of building their own.
+  std::uint64_t topo_builds_saved = 0;
+  /// Engine instances constructed (one per executed (topology, engine)
+  /// group).
+  std::uint64_t engine_groups = 0;
+  /// Jobs that reused a sibling job's engine instance — and with it the
+  /// engine's per-topology setup (e.g. the flow engine's measured ring).
+  std::uint64_t engines_saved = 0;
+  /// Cells actually simulated (cache misses executed by a group).
+  std::uint64_t cells_executed = 0;
+};
+
+/// \brief Snapshot of the process-wide batch counters.
+BatchCounters batch_counters();
+
 /// \brief Runs sweep grids over a fixed-width thread pool.
 ///
 /// One harness owns one ThreadPool; construct it once and reuse it for
@@ -70,6 +95,23 @@ class ExperimentHarness {
   /// build only the topologies that still have misses, simulate the
   /// misses, and store them back. Rows depend only on the plan and the
   /// range, never on the thread count or on which cells hit.
+  ///
+  /// Execution is batched: cells are grouped by (topology spec, engine)
+  /// — across grids — and each group runs against one shared built
+  /// topology and one engine instance, so graph builds, oracle fills,
+  /// dist fields, route tables, and per-engine setup (measured rings)
+  /// happen once per group instead of once per cell. The cache probe
+  /// stays per-cell, and rows are byte-identical to unbatched execution.
+  ///
+  /// A failing cell (engine->run or cache store throwing) does not abort
+  /// the sibling cells of its topology group: every other cell of the
+  /// range still executes (and is stored), then the first failure in plan
+  /// order is rethrown naming the cell — as std::invalid_argument when
+  /// that failure was one (a pattern invalid for the topology is a
+  /// configuration error and keeps CLI exit code 2), else as
+  /// std::runtime_error. Topology and engine construction errors (bad
+  /// specs, unknown engines) propagate immediately with their original
+  /// type.
   std::vector<SweepRow> run_cells(const GridPlan& plan, std::size_t lo,
                                   std::size_t hi, ResultCache* cache);
 

@@ -1,10 +1,13 @@
 #include "flow/flow_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "core/thread_pool.hpp"
@@ -19,7 +22,25 @@ constexpr std::size_t kSampleChunk = 256;
 // sampled paths are identical either way (per-flow substreams), so the
 // threshold shapes only wall-clock.
 constexpr std::size_t kParallelSamplingMin = 2048;
+
+// Active links per round-pass job. Fixed size — chunk boundaries depend
+// only on the (deterministic) active-link array, never on the worker
+// count, which is what keeps the chunked reduction bit-identical for any
+// solve_threads.
+constexpr std::size_t kRoundChunk = 8192;
+// Below this many active links the per-round pool dispatch costs more
+// than the passes; such rounds run the serial loop. Purely a wall-clock
+// threshold: both paths compute identical bits, so it can differ between
+// rounds of one solve without affecting rates.
+constexpr std::size_t kParallelRoundsMin = 2 * kRoundChunk;
+
+std::atomic<std::uint64_t> g_rounds_parallel{0};
+std::atomic<std::uint64_t> g_rounds_serial{0};
 }  // namespace
+
+SolverCounters solver_counters() {
+  return {g_rounds_parallel.load(), g_rounds_serial.load()};
+}
 
 FlowSolver::FlowSolver(const topo::Topology& topology, FlowSolverConfig config)
     : topology_(topology), config_(config) {}
@@ -35,6 +56,10 @@ FlowSolver::FlowSolver(const topo::Topology& topology, FlowSolverConfig config)
 // freeze time — the same left-to-right float additions the per-subflow
 // accumulation performed — so the computed rates are bit-identical to the
 // full-rescan formulation, round for round.
+//
+// Large rounds additionally fan both active-link passes over a thread
+// pool in fixed-size chunks reduced in chunk-index order; see the chunked
+// lambdas below for why that is bit-identical to the serial loop.
 void FlowSolver::solve(std::vector<Flow>& flows) const {
   const topo::Graph& g = topology_.graph();
 
@@ -44,11 +69,6 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
   // Chunks land in per-chunk buffers and are flattened in flow order
   // below, which keeps the downstream filling identical to a serial
   // sampling loop.
-  struct Subflow {
-    int flow = 0;
-    std::uint32_t first = 0;  // into path_links
-    std::uint32_t count = 0;
-  };
   struct Chunk {
     std::vector<topo::LinkId> links;  // concatenated sampled paths
     std::vector<std::pair<int, std::uint32_t>> subs;  // (flow, path length)
@@ -81,8 +101,13 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
   }
 
   // Flatten in flow order, counting per-link crossings as the links land.
+  // The per-subflow state is SoA — flow id / first link / link count here,
+  // rate and the frozen flag below — so the fused round passes and the
+  // final rate accumulation stream through flat arrays.
   for (Flow& f : flows) f.rate = 0.0;
-  std::vector<Subflow> subflows;
+  std::vector<int> sub_flow;
+  std::vector<std::uint32_t> sub_first;
+  std::vector<std::uint32_t> sub_count;
   std::vector<topo::LinkId> path_links;
   {
     std::size_t total_subs = 0, total_links = 0;
@@ -90,25 +115,26 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
       total_subs += chunk.subs.size();
       total_links += chunk.links.size();
     }
-    subflows.reserve(total_subs);
+    sub_flow.reserve(total_subs);
+    sub_first.reserve(total_subs);
+    sub_count.reserve(total_subs);
     path_links.reserve(total_links);
   }
   std::vector<std::uint32_t> link_off(g.num_links() + 1, 0);
   for (const Chunk& chunk : chunks) {
     std::size_t pos = 0;
     for (const auto& [f, count] : chunk.subs) {
-      Subflow s;
-      s.flow = f;
-      s.first = static_cast<std::uint32_t>(path_links.size());
-      s.count = count;
+      sub_flow.push_back(f);
+      sub_first.push_back(static_cast<std::uint32_t>(path_links.size()));
+      sub_count.push_back(count);
       for (std::uint32_t i = 0; i < count; ++i)
         ++link_off[chunk.links[pos + i] + 1];
       path_links.insert(path_links.end(), chunk.links.begin() + pos,
                         chunk.links.begin() + pos + count);
       pos += count;
-      subflows.push_back(s);
     }
   }
+  const std::size_t num_subs = sub_flow.size();
 
   std::vector<double> residual(g.num_links());
   for (std::size_t l = 0; l < g.num_links(); ++l)
@@ -128,12 +154,10 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
       new std::uint32_t[path_links.size()]);
   {
     std::vector<std::uint32_t> fill(link_off.begin(), link_off.end() - 1);
-    for (std::size_t si = 0; si < subflows.size(); ++si) {
-      const Subflow& s = subflows[si];
-      for (std::uint32_t i = 0; i < s.count; ++i)
-        link_subs[fill[path_links[s.first + i]]++] =
+    for (std::size_t si = 0; si < num_subs; ++si)
+      for (std::uint32_t i = 0; i < sub_count[si]; ++i)
+        link_subs[fill[path_links[sub_first[si] + i]]++] =
             static_cast<std::uint32_t>(si);
-    }
   }
 
   // The compacted active sets: links still carrying unfrozen subflows.
@@ -143,22 +167,36 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
     if (active_count[l] > 0)
       active_links.push_back(static_cast<std::uint32_t>(l));
 
-  std::vector<std::uint8_t> active(subflows.size(), 1);
+  std::vector<std::uint8_t> active(num_subs, 1);
   // Uninitialized on purpose: every subflow's slot is written exactly once
   // — at freeze time, or by the leftover sweep after the filling loop.
-  std::unique_ptr<double[]> rate(new double[subflows.size()]);
+  std::unique_ptr<double[]> rate(new double[num_subs]);
   double cum = 0.0;  // sum of all deltas so far == rate of an active subflow
   const double eps = 1e-6 * kLinkBandwidthBps;
-  std::size_t remaining = subflows.size();
+  std::size_t remaining = num_subs;
 
   auto freeze = [&](std::uint32_t si) {
     active[si] = 0;
     rate[si] = cum;
     --remaining;
-    const Subflow& s = subflows[si];
-    for (std::uint32_t i = 0; i < s.count; ++i)
-      --active_count[path_links[s.first + i]];
+    const std::uint32_t first = sub_first[si];
+    const std::uint32_t count = sub_count[si];
+    for (std::uint32_t i = 0; i < count; ++i)
+      --active_count[path_links[first + i]];
   };
+
+  // The round pool, created once if any round is big enough to fan out.
+  // Worker count never changes the computed rates, so the decision can be
+  // taken per round without affecting determinism.
+  std::optional<ThreadPool> round_pool;
+  const bool rounds_may_parallelize =
+      config_.solve_threads != 1 && active_links.size() >= kParallelRoundsMin;
+  // Per-chunk partials, reused across rounds: saturated links, surviving
+  // links, and the surviving fair-share minimum of each chunk.
+  std::vector<std::vector<std::uint32_t>> sat_chunks;
+  std::vector<std::vector<std::uint32_t>> keep_chunks;
+  std::vector<double> chunk_min;
+  std::uint64_t rounds_parallel = 0, rounds_serial = 0;
 
   // Each round is two passes over the active links: (1) apply the fill
   // delta and collect the links it saturated, (2) drop the links whose
@@ -166,6 +204,13 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
   // minimum from the surviving values. Both use exactly the per-link
   // arithmetic of the one-pass-per-phase formulation, so deltas — and
   // therefore every rate — are bit-identical to it.
+  //
+  // Parallel rounds split the active-link array into kRoundChunk-sized
+  // chunks (boundaries a pure function of the array length): every link
+  // is updated by exactly one chunk with the identical arithmetic, each
+  // chunk's saturated/survivor partials preserve the array order, and
+  // concatenating (and min-reducing) the partials in chunk-index order
+  // reproduces the serial scan's output exactly.
   std::vector<std::uint32_t> saturated;
   double delta = std::numeric_limits<double>::infinity();
   for (std::uint32_t l : active_links)
@@ -178,42 +223,107 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
 
     if (round + 1 == config_.max_filling_rounds) {
       // Safety cap: freeze whatever is left at the current fill level.
-      for (std::uint32_t si = 0; si < subflows.size(); ++si)
+      for (std::uint32_t si = 0; si < num_subs; ++si)
         if (active[si]) freeze(si);
       break;
     }
+
+    const std::size_t nactive = active_links.size();
+    const bool parallel_round =
+        rounds_may_parallelize && nactive >= kParallelRoundsMin;
+    if (parallel_round && !round_pool) round_pool.emplace(config_.solve_threads);
 
     // A link is saturated when its residual share is (numerically) gone;
     // every unfrozen subflow crossing it freezes this round. The frozen
     // subflows' other links lose active crossers and may drop out of the
     // compaction below without ever saturating themselves.
     saturated.clear();
-    for (std::uint32_t l : active_links) {
-      const double r = residual[l] - delta * active_count[l];
-      residual[l] = r;
-      if (r <= eps) saturated.push_back(l);
+    if (parallel_round) {
+      ++rounds_parallel;
+      const std::size_t rchunks = (nactive + kRoundChunk - 1) / kRoundChunk;
+      if (sat_chunks.size() < rchunks) {
+        sat_chunks.resize(rchunks);
+        keep_chunks.resize(rchunks);
+        chunk_min.resize(rchunks);
+      }
+      round_pool->parallel_for(rchunks, [&](std::size_t c) {
+        std::vector<std::uint32_t>& sat = sat_chunks[c];
+        sat.clear();
+        const std::size_t lo = c * kRoundChunk;
+        const std::size_t hi = std::min(nactive, lo + kRoundChunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint32_t l = active_links[i];
+          const double r = residual[l] - delta * active_count[l];
+          residual[l] = r;
+          if (r <= eps) sat.push_back(l);
+        }
+      });
+      for (std::size_t c = 0; c < rchunks; ++c)
+        saturated.insert(saturated.end(), sat_chunks[c].begin(),
+                         sat_chunks[c].end());
+    } else {
+      ++rounds_serial;
+      for (std::uint32_t l : active_links) {
+        const double r = residual[l] - delta * active_count[l];
+        residual[l] = r;
+        if (r <= eps) saturated.push_back(l);
+      }
     }
+    // Freezing stays serial: it is O(frozen subflows' path links), which
+    // sums to the total incidence count over the whole solve, and its
+    // active_count decrements feed the very next pass.
     for (std::uint32_t l : saturated)
       for (std::uint32_t i = link_off[l]; i < link_off[l + 1]; ++i)
         if (active[link_subs[i]]) freeze(link_subs[i]);
 
     double next = std::numeric_limits<double>::infinity();
-    std::size_t kept = 0;
-    for (std::uint32_t l : active_links) {
-      if (active_count[l] == 0) continue;
-      active_links[kept++] = l;
-      next = std::min(next, residual[l] / active_count[l]);
+    if (parallel_round) {
+      const std::size_t rchunks = (nactive + kRoundChunk - 1) / kRoundChunk;
+      round_pool->parallel_for(rchunks, [&](std::size_t c) {
+        std::vector<std::uint32_t>& keep = keep_chunks[c];
+        keep.clear();
+        double m = std::numeric_limits<double>::infinity();
+        const std::size_t lo = c * kRoundChunk;
+        const std::size_t hi = std::min(nactive, lo + kRoundChunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint32_t l = active_links[i];
+          if (active_count[l] == 0) continue;
+          keep.push_back(l);
+          m = std::min(m, residual[l] / active_count[l]);
+        }
+        chunk_min[c] = m;
+      });
+      std::size_t kept = 0;
+      for (std::size_t c = 0; c < rchunks; ++c) {
+        const std::vector<std::uint32_t>& keep = keep_chunks[c];
+        if (!keep.empty())
+          std::memcpy(active_links.data() + kept, keep.data(),
+                      keep.size() * sizeof(std::uint32_t));
+        kept += keep.size();
+        next = std::min(next, chunk_min[c]);
+      }
+      active_links.resize(kept);
+    } else {
+      std::size_t kept = 0;
+      for (std::uint32_t l : active_links) {
+        if (active_count[l] == 0) continue;
+        active_links[kept++] = l;
+        next = std::min(next, residual[l] / active_count[l]);
+      }
+      active_links.resize(kept);
     }
-    active_links.resize(kept);
     delta = next;
   }
 
   // Loop cap or non-finite delta: unfrozen subflows keep the current fill.
-  for (std::uint32_t si = 0; si < subflows.size(); ++si)
+  for (std::uint32_t si = 0; si < num_subs; ++si)
     if (active[si]) rate[si] = cum;
 
-  for (std::size_t si = 0; si < subflows.size(); ++si)
-    flows[subflows[si].flow].rate += rate[si];
+  for (std::size_t si = 0; si < num_subs; ++si)
+    flows[sub_flow[si]].rate += rate[si];
+
+  if (rounds_parallel) g_rounds_parallel.fetch_add(rounds_parallel);
+  if (rounds_serial) g_rounds_serial.fetch_add(rounds_serial);
 }
 
 }  // namespace hxmesh::flow

@@ -15,11 +15,20 @@
 // independent: large flow sets sample in parallel over a thread pool with
 // rates that are bit-identical for every worker count, including one.
 //
+// The filling rounds themselves are parallel too: the active-link array is
+// split into fixed-size chunks whose boundaries depend only on the array
+// (never on the worker count), each chunk computes its partial saturated
+// list / survivor list / fair-share minimum, and the partials are reduced
+// in chunk-index order — so the per-round delta, the freeze order, and
+// therefore every rate are bit-identical for any `solve_threads`
+// (tests/test_determinism.cpp pins 1 == 4 == 16).
+//
 // This reproduces the steady-state bandwidth numbers of Table II and
 // Figures 11-13/17 for large messages; the packet-level simulator
 // (src/sim) cross-validates it at small scale.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -42,7 +51,28 @@ struct FlowSolverConfig {
   // (else the hardware concurrency), 1 forces serial sampling. Never
   // changes the computed rates — only wall-clock.
   int sample_threads = 0;
+  // Worker threads for the progressive-filling rounds (the chunked
+  // active-link passes): 0 uses $HXMESH_THREADS (else the hardware
+  // concurrency), 1 forces the serial round loop. Rounds below the
+  // internal active-set threshold run serially either way. Never changes
+  // the computed rates — only wall-clock.
+  int solve_threads = 0;
 };
+
+/// \brief Process-wide counters of how filling rounds executed.
+///
+/// `rounds_parallel` counts rounds whose active-link passes fanned over
+/// the thread pool, `rounds_serial` counts rounds that ran the serial
+/// loop (small active sets, or solve_threads == 1). They make "the solver
+/// actually parallelized this sweep" observable (`hxmesh cache stats`
+/// and sweep stderr), not assumed.
+struct SolverCounters {
+  std::uint64_t rounds_parallel = 0;
+  std::uint64_t rounds_serial = 0;
+};
+
+/// \brief Snapshot of the process-wide solver round counters.
+SolverCounters solver_counters();
 
 class FlowSolver {
  public:

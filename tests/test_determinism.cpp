@@ -257,8 +257,8 @@ TEST(FlowSolverDeterminism, SelfFlowsAndRepeatSolvesMatchReference) {
 // ------------------------------------------- regression grid, both engines --
 
 #ifdef HXMESH_SOURCE_DIR
-// The full 17-row pinned grid (flow and packet engines, up to
-// hx2mesh:128x128) rendered through the harness must stay byte-identical
+// The full 19-row pinned grid (flow and packet engines, up to
+// hx2mesh:256x256) rendered through the harness must stay byte-identical
 // to the committed baseline: the optimizations change speed, not results.
 TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
   const std::string base = std::string(HXMESH_SOURCE_DIR) + "/bench/baselines";
@@ -286,7 +286,7 @@ TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
 
   engine::ExperimentHarness harness;
   std::vector<engine::SweepRow> rows = harness.run_grids(specs);
-  EXPECT_EQ(rows.size(), 17u) << "regression grid changed size; update the "
+  EXPECT_EQ(rows.size(), 19u) << "regression grid changed size; update the "
                                  "baselines and this test together";
   std::ostringstream rendered;
   engine::write_json(rendered, rows);

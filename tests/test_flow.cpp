@@ -2,6 +2,8 @@
 // properties, and Table II-shaped results on the paper's small networks.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "flow/flow_sim.hpp"
 #include "flow/patterns.hpp"
 #include "topo/fattree.hpp"
@@ -111,6 +113,82 @@ TEST(FlowSolver, RingOnTorusGetsFullLinkBothDirections) {
   for (const Flow& f : flows)
     EXPECT_NEAR(f.rate, kLink, kLink * 0.01)
         << f.src << "->" << f.dst;
+}
+
+// --------------------------------------- solve_threads invariance --------
+// The chunked parallel filling rounds must produce byte-identical rates to
+// the serial loop for every worker count. Two scales: 16x16 stays below
+// the internal parallel threshold (rounds run serially either way), 64x64
+// crosses it so the chunked reduction really executes.
+std::vector<double> rates_with_threads(const topo::Topology& topo,
+                                       const std::vector<Flow>& pattern,
+                                       int solve_threads) {
+  FlowSolverConfig config;
+  config.sample_threads = 1;
+  config.solve_threads = solve_threads;
+  FlowSolver solver(topo, config);
+  std::vector<Flow> flows = pattern;
+  solver.solve(flows);
+  std::vector<double> rates;
+  rates.reserve(flows.size());
+  for (const Flow& f : flows) rates.push_back(f.rate);
+  return rates;
+}
+
+// The flow sets of the two regression-grid pattern families: a random
+// permutation, and the superposition of two balanced-shift rounds (the
+// instance shape the alltoall ensemble feeds the solver).
+std::vector<std::vector<Flow>> invariance_patterns(int n) {
+  Rng rng(3);
+  std::vector<std::vector<Flow>> patterns;
+  patterns.push_back(random_permutation(n, rng));
+  std::vector<Flow> alltoall = shift_pattern(n, n / 2);
+  const std::vector<Flow> second = shift_pattern(n, 7);
+  alltoall.insert(alltoall.end(), second.begin(), second.end());
+  patterns.push_back(std::move(alltoall));
+  return patterns;
+}
+
+TEST(FlowSolver, SolveThreadsNeverChangeRates) {
+  for (int side : {16, 64}) {
+    topo::HammingMesh hx({.a = 2, .b = 2, .x = side, .y = side});
+    for (const auto& pattern : invariance_patterns(hx.num_endpoints())) {
+      const auto r1 = rates_with_threads(hx, pattern, 1);
+      const auto r4 = rates_with_threads(hx, pattern, 4);
+      const auto r16 = rates_with_threads(hx, pattern, 16);
+      ASSERT_EQ(r1.size(), r4.size());
+      ASSERT_EQ(r1.size(), r16.size());
+      // Byte-identical, not merely close: compare the raw double bits.
+      EXPECT_EQ(std::memcmp(r1.data(), r4.data(),
+                            r1.size() * sizeof(double)),
+                0)
+          << side << "x" << side << " threads 1 vs 4";
+      EXPECT_EQ(std::memcmp(r1.data(), r16.data(),
+                            r1.size() * sizeof(double)),
+                0)
+          << side << "x" << side << " threads 1 vs 16";
+    }
+  }
+}
+
+TEST(FlowSolver, LargeInstanceRoundsActuallyParallelize) {
+  // Guard against the parallel path silently never engaging (threshold set
+  // wrong, pool never built): a 64x64 permutation with solve_threads=4
+  // must run parallel rounds, and solve_threads=1 must run none.
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 64, .y = 64});
+  Rng rng(3);
+  const std::vector<Flow> pattern =
+      random_permutation(hx.num_endpoints(), rng);
+
+  const SolverCounters before = solver_counters();
+  rates_with_threads(hx, pattern, 4);
+  const SolverCounters mid = solver_counters();
+  EXPECT_GT(mid.rounds_parallel, before.rounds_parallel);
+
+  rates_with_threads(hx, pattern, 1);
+  const SolverCounters after = solver_counters();
+  EXPECT_EQ(after.rounds_parallel, mid.rounds_parallel);
+  EXPECT_GT(after.rounds_serial, mid.rounds_serial);
 }
 
 TEST(FlowSolver, HxMeshNeighborRingFullRate) {

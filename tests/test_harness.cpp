@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <set>
 #include <thread>
 
 #include "core/thread_pool.hpp"
 #include "engine/harness.hpp"
+#include "engine/result_cache.hpp"
 #include "topo/hammingmesh.hpp"
 
 namespace hxmesh {
@@ -165,6 +167,74 @@ TEST(Harness, FourThreadGridMatchesOneThreadGrid) {
   ASSERT_EQ(rows1.size(), rows4.size());
   for (std::size_t i = 0; i < rows1.size(); ++i)
     EXPECT_EQ(engine::row_json(rows1[i]), engine::row_json(rows4[i])) << i;
+}
+
+// ----------------------------------------------- batched execution -------
+TEST(Harness, BatchedDuplicateSpecsBuildOnce) {
+  // Two grids sharing a topology spec: batched execution must build the
+  // shared topology once (the counters prove it) while the rows stay
+  // byte-identical to independent per-grid runs.
+  engine::SweepConfig a;
+  a.topologies = {"hx2mesh:4x4", "torus:8x8"};
+  a.patterns = {flow::parse_traffic("perm:msg=256KiB")};
+  a.seeds = {1, 2};
+  engine::SweepConfig b;
+  b.topologies = {"hx2mesh:4x4"};  // duplicate of a's first spec
+  b.patterns = {flow::parse_traffic("shift:3:msg=256KiB")};
+  b.seeds = {1};
+
+  const engine::BatchCounters before = engine::batch_counters();
+  engine::ExperimentHarness harness(2);
+  auto rows = harness.run_grids({{a, {}}, {b, {}}});
+  const engine::BatchCounters after = engine::batch_counters();
+
+  // 3 (grid, topology) slots but 2 distinct specs: one build saved; the
+  // duplicate's job also reuses the group's engine instance.
+  EXPECT_EQ(after.topo_groups - before.topo_groups, 2u);
+  EXPECT_EQ(after.topo_builds_saved - before.topo_builds_saved, 1u);
+  EXPECT_EQ(after.engine_groups - before.engine_groups, 2u);
+  EXPECT_EQ(after.engines_saved - before.engines_saved, 1u);
+  EXPECT_EQ(after.cells_executed - before.cells_executed, rows.size());
+
+  auto rows_a = engine::ExperimentHarness(1).run_grid(a);
+  auto rows_b = engine::ExperimentHarness(1).run_grid(b);
+  ASSERT_EQ(rows.size(), rows_a.size() + rows_b.size());
+  for (std::size_t i = 0; i < rows_a.size(); ++i)
+    EXPECT_EQ(engine::row_json(rows[i]), engine::row_json(rows_a[i])) << i;
+  for (std::size_t i = 0; i < rows_b.size(); ++i)
+    EXPECT_EQ(engine::row_json(rows[rows_a.size() + i]),
+              engine::row_json(rows_b[i]))
+        << i;
+}
+
+TEST(Harness, FailingCellDrainsSiblingsAndNamesCell) {
+  // A pattern invalid for the topology fails its cell at run time; the
+  // sibling cells of the same topology group must still execute and land
+  // in the cache, and the rethrow must name the failing cell and keep the
+  // invalid_argument category (the CLI's exit-2 contract).
+  engine::SweepConfig sweep;
+  sweep.topologies = {"hx2mesh:2x2"};
+  sweep.patterns = {flow::parse_traffic("perm:msg=64KiB"),
+                    flow::parse_traffic("ring:ranks=0,999"),
+                    flow::parse_traffic("shift:1:msg=64KiB")};
+  sweep.seeds = {1};
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "harness_cell_error")
+          .string();
+  std::filesystem::remove_all(dir);
+  engine::ResultCache cache(dir);
+  engine::ExperimentHarness harness(2);
+  try {
+    harness.run_grids({{sweep, {}}}, &cache);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cell 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  // Both siblings of the failing cell were executed and stored.
+  EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 TEST(Harness, MapPreservesIndexOrder) {
