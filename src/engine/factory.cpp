@@ -117,13 +117,9 @@ std::unique_ptr<topo::Topology> build_hxmesh(const std::string& spec,
   return std::make_unique<topo::HammingMesh>(p);
 }
 
-std::unique_ptr<topo::Topology> parse_topology(const std::string& spec) {
-  auto args = split(spec, ':');
-  std::string family = args.front();
-  std::transform(family.begin(), family.end(), family.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  args.erase(args.begin());
-
+std::unique_ptr<topo::Topology> parse_family(const std::string& spec,
+                                             std::string family,
+                                             std::vector<std::string> args) {
   if (family == "hxmesh") return build_hxmesh(spec, args, 0, 0);
   if (family == "hx2mesh") return build_hxmesh(spec, args, 2, 2);
   if (family == "hx4mesh") return build_hxmesh(spec, args, 4, 4);
@@ -187,6 +183,37 @@ std::unique_ptr<topo::Topology> parse_topology(const std::string& spec) {
   bad_spec(spec, "unknown family '" + family + "'");
 }
 
+std::unique_ptr<topo::Topology> parse_topology(const std::string& spec) {
+  auto args = split(spec, ':');
+  std::string family = args.front();
+  std::transform(family.begin(), family.end(), family.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  args.erase(args.begin());
+
+  // A trailing fault group ("faults=links:<rate>[:seed=S]") is a property
+  // of any family: peel it off before the family parser sees the args,
+  // build the healthy fabric, then knock the links out. The fault tokens
+  // stay part of the raw spec string, so ResultCache keys and sharded
+  // sweeps distinguish degraded fabrics for free.
+  topo::FaultSpec faults;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("faults=", 0) != 0) continue;
+    std::string text = args[i];
+    for (std::size_t j = i + 1; j < args.size(); ++j) text += ":" + args[j];
+    try {
+      faults = topo::FaultSpec::parse(text);
+    } catch (const std::invalid_argument& e) {
+      bad_spec(spec, e.what());
+    }
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i), args.end());
+    break;
+  }
+
+  auto topology = parse_family(spec, std::move(family), std::move(args));
+  topology->apply_faults(faults);
+  return topology;
+}
+
 }  // namespace
 
 std::unique_ptr<SimEngine> make_engine(const std::string& name,
@@ -229,6 +256,9 @@ std::vector<std::string> topology_grammar() {
       "dragonfly:small|large      the paper's two design points",
       "dragonfly:A:P:H:G          explicit a/p/h/g configuration",
       "torus:XxY[:board=AxB]      2D torus, PCB traces inside each board",
+      "any:faults=links:R[:seed=S] trailing fault group: knock out a",
+      "                           fraction R (or integer count R) of cables,",
+      "                           seeded and deterministic",
   };
 }
 

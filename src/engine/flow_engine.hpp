@@ -7,6 +7,8 @@
 // so swapping the solver implementation touches one file.
 #pragma once
 
+#include <array>
+
 #include "collectives/models.hpp"
 #include "engine/engine.hpp"
 #include "flow/flow_sim.hpp"
@@ -35,9 +37,10 @@ class FlowEngine : public SimEngine {
 
   flow::FlowSolver solver_;
   // Lazily measured ring mapping, reused across allreduce specs (message
-  // size changes per sweep point, the mapping and its rates do not).
-  bool ring_measured_ = false;
-  collectives::MeasuredRing ring_;
+  // size changes per sweep point, the mapping and its rates do not —
+  // but the routing mode does, so the cache is per mode).
+  std::array<bool, topo::kNumRouteModes> ring_measured_{};
+  std::array<collectives::MeasuredRing, topo::kNumRouteModes> ring_;
 };
 
 }  // namespace hxmesh::engine

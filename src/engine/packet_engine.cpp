@@ -28,6 +28,15 @@ int payload_elems(std::uint64_t message_bytes) {
   return static_cast<int>(elems);
 }
 
+// Per-run sim config: the spec's routing mode and seed are scenario
+// properties, not engine construction parameters.
+sim::PacketSimConfig routed_config(sim::PacketSimConfig config,
+                                   const flow::TrafficSpec& spec) {
+  config.route_mode = spec.route;
+  config.route_seed = spec.seed;
+  return config;
+}
+
 // Rank grid of a 2D accelerator array, for the torus allreduce algorithm.
 std::vector<std::vector<int>> rank_grid(const topo::Topology& topology) {
   if (auto* hx = dynamic_cast<const topo::HammingMesh*>(&topology)) {
@@ -72,7 +81,7 @@ RunResult PacketEngine::run(const flow::TrafficSpec& spec) {
 RunResult PacketEngine::run_point_to_point(const flow::TrafficSpec& spec) {
   RunResult result;
   result.flows = flow::make_flows(spec, topology_.num_endpoints());
-  sim::PacketSim sim(topology_, config_);
+  sim::PacketSim sim(topology_, routed_config(config_, spec));
   // The destination set is known before any message is queued, so the
   // route tables (the expensive per-destination setup) build in parallel.
   std::vector<int> dsts;
@@ -105,7 +114,7 @@ RunResult PacketEngine::run_point_to_point(const flow::TrafficSpec& spec) {
 RunResult PacketEngine::run_alltoall(const flow::TrafficSpec& spec) {
   const int n = topology_.num_endpoints();
   const int elems = payload_elems(spec.message_bytes);
-  sim::MiniMpi mpi(topology_, config_);
+  sim::MiniMpi mpi(topology_, routed_config(config_, spec));
   std::vector<int> ranks(n);
   std::iota(ranks.begin(), ranks.end(), 0);
   mpi.sim().prebuild_routes(ranks);  // every rank receives in an alltoall
@@ -137,7 +146,7 @@ RunResult PacketEngine::run_allreduce(const flow::TrafficSpec& spec) {
     expected += v;
   }
 
-  sim::MiniMpi mpi(topology_, config_);
+  sim::MiniMpi mpi(topology_, routed_config(config_, spec));
   collectives::RingMapping mapping = collectives::build_ring_mapping(topology_);
   {
     // Ring steps make every rank a receive destination eventually.

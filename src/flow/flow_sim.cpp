@@ -60,7 +60,8 @@ FlowSolver::FlowSolver(const topo::Topology& topology, FlowSolverConfig config)
 // Large rounds additionally fan both active-link passes over a thread
 // pool in fixed-size chunks reduced in chunk-index order; see the chunked
 // lambdas below for why that is bit-identical to the serial loop.
-void FlowSolver::solve(std::vector<Flow>& flows) const {
+void FlowSolver::solve(std::vector<Flow>& flows,
+                       topo::RouteMode route) const {
   const topo::Graph& g = topology_.graph();
 
   // Sample subflow paths. Each flow draws from its own counter-seeded RNG
@@ -86,7 +87,8 @@ void FlowSolver::solve(std::vector<Flow>& flows) const {
       Rng rng = Rng::substream(config_.seed, f);
       for (int k = 0; k < config_.paths_per_flow; ++k) {
         topology_.sample_path_stratified(flows[f].src, flows[f].dst, k,
-                                         config_.paths_per_flow, rng, path);
+                                         config_.paths_per_flow, rng, path,
+                                         route);
         chunk.subs.emplace_back(static_cast<int>(f),
                                 static_cast<std::uint32_t>(path.size()));
         chunk.links.insert(chunk.links.end(), path.begin(), path.end());

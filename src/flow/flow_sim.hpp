@@ -57,6 +57,10 @@ struct FlowSolverConfig {
   // internal active-set threshold run serially either way. Never changes
   // the computed rates — only wall-clock.
   int solve_threads = 0;
+  // Path selection mode handed to sample_path_stratified: minimal,
+  // Valiant (random-intermediate detours), or UGAL (deterministic 50/50
+  // minimal/detour mix over the subflow strata).
+  topo::RouteMode route = topo::RouteMode::kMinimal;
 };
 
 /// \brief Process-wide counters of how filling rounds executed.
@@ -81,7 +85,12 @@ class FlowSolver {
 
   /// Computes max-min fair rates for all flows (bytes/s, written into
   /// flows[i].rate). Flows with src == dst get rate 0 and are ignored.
-  void solve(std::vector<Flow>& flows) const;
+  void solve(std::vector<Flow>& flows) const {
+    solve(flows, config_.route);
+  }
+  /// Same, with the routing mode overridden per call (engines route one
+  /// solver instance under every TrafficSpec of a sweep).
+  void solve(std::vector<Flow>& flows, topo::RouteMode route) const;
 
   const topo::Topology& topology() const { return topology_; }
   const FlowSolverConfig& config() const { return config_; }

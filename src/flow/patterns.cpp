@@ -163,6 +163,8 @@ std::string pattern_spec(const TrafficSpec& spec) {
   }
   if (spec.kind == PatternKind::kAlltoall && spec.samples != defaults.samples)
     out += ":samples=" + std::to_string(spec.samples);
+  if (spec.route != defaults.route)
+    out += std::string(":route=") + topo::route_mode_name(spec.route);
   if (spec.seed != defaults.seed) out += ":seed=" + std::to_string(spec.seed);
   if (spec.message_bytes != defaults.message_bytes)
     out += ":msg=" + format_size(spec.message_bytes);
@@ -198,6 +200,12 @@ TrafficSpec parse_traffic(const std::string& text) {
       const std::string value = token.substr(eq + 1);
       if (key == "msg") {
         spec.message_bytes = parse_size_token(text, value);
+      } else if (key == "route") {
+        try {
+          spec.route = topo::parse_route_mode(value);
+        } catch (const std::invalid_argument&) {
+          bad_token(text, token, "bad route mode");
+        }
       } else if (key == "seed") {
         spec.seed = parse_u64_token(text, value);
       } else if (key == "samples") {
@@ -243,7 +251,8 @@ std::vector<std::string> traffic_grammar() {
       "unless :uni)",
       "alltoall[:<samples>]   balanced-shift alltoall ensemble",
       "allreduce[:torus]      ring allreduce (or the 2D-torus algorithm)",
-      "options (any head):    msg=<bytes|KiB|MiB|GiB|KB|MB|GB>, seed=<n>",
+      "options (any head):    msg=<bytes|KiB|MiB|GiB|KB|MB|GB>, seed=<n>,",
+      "                       route=<minimal|valiant|ugal>",
   };
 }
 

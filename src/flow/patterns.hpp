@@ -15,6 +15,7 @@
 #include "core/rng.hpp"
 #include "core/units.hpp"
 #include "flow/flow_sim.hpp"
+#include "topo/topology.hpp"
 
 namespace hxmesh::flow {
 
@@ -61,6 +62,7 @@ struct TrafficSpec {
   std::uint64_t message_bytes = MiB;  // per flow (kShift/kPermutation/kRing),
                                       // per peer (kAlltoall),
                                       // per rank (kAllreduce)
+  topo::RouteMode route = topo::RouteMode::kMinimal;  // path selection mode
 };
 
 /// Compact name, e.g. "shift:3", "perm", "alltoall", "allreduce:torus".

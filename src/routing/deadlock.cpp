@@ -10,10 +10,14 @@ using topo::NodeId;
 
 namespace {
 
-// Channel id = link * num_vcs + vc.
+// Channel id = link * total_vcs + vc. Single-phase (minimal) analysis has
+// total_vcs == num_vcs and phase base 0; the two-phase non-minimal analysis
+// reuses the builder with total_vcs == 2 * num_vcs and builds each Valiant
+// leg's CDG at its own VC base.
 struct CdgBuilder {
   const topo::Topology& topo;
-  int num_vcs;
+  int num_vcs;     // VCs available to one phase
+  int total_vcs;   // channel stride (2 * num_vcs for two-phase analysis)
   const TurnFilter& filter;
   std::vector<std::vector<std::uint32_t>> adj;   // channel -> channels
   std::unordered_set<std::uint64_t> seen;        // dedup of edges
@@ -62,7 +66,7 @@ struct CdgBuilder {
     for (NodeId n : order) {
       if (n == goal || dist[n] < 0) continue;
       for (LinkId l : g.out_links(n))
-        if (dist[g.link(l).dst] == dist[n] - 1 &&
+        if (!g.link_failed(l) && dist[g.link(l).dst] == dist[n] - 1 &&
             (!filter || filter(n, dst, l)))
           rails[n] = std::min(rails[n],
                               (is_rail_entry(l) ? 1 : 0) +
@@ -71,9 +75,12 @@ struct CdgBuilder {
     return rails;
   }
 
-  void build() {
+  // Builds one phase's CDG: every minimal (filtered, healthy) dependency
+  // over all destinations, with this phase's channels at VC offset
+  // `vc_base`.
+  void build(int vc_base = 0) {
     const topo::Graph& g = topo.graph();
-    adj.resize(g.num_links() * num_vcs);
+    adj.resize(g.num_links() * total_vcs);
     for (int dst = 0; dst < topo.num_endpoints(); ++dst) {
       NodeId goal = topo.endpoint_node(dst);
       auto dist_ptr = topo.dist_field(goal);
@@ -84,7 +91,7 @@ struct CdgBuilder {
         // Minimal (optionally filtered) candidates out of n toward dst.
         std::vector<LinkId> outs;
         for (LinkId l : g.out_links(n))
-          if (dist[g.link(l).dst] == dist[n] - 1 &&
+          if (!g.link_failed(l) && dist[g.link(l).dst] == dist[n] - 1 &&
               (!filter || filter(n, dst, l)))
             outs.push_back(l);
         if (outs.empty()) continue;
@@ -92,6 +99,7 @@ struct CdgBuilder {
         for (std::size_t li = 0; li < g.num_links(); ++li) {
           const topo::Link& lin = g.link(static_cast<LinkId>(li));
           if (lin.dst != n) continue;
+          if (g.link_failed(static_cast<LinkId>(li))) continue;
           // The in-link must itself be a hop the routing could have taken
           // toward this destination: minimal and filter-permitted.
           if (dist[lin.src] != dist[n] + 1) continue;
@@ -102,10 +110,47 @@ struct CdgBuilder {
             for (LinkId out : outs) {
               int v2 = vc_after(v, out);
               if (v2 + rails[g.link(out).dst] > num_vcs - 1) continue;
-              add_edge(static_cast<std::uint32_t>(li * num_vcs + v),
-                       static_cast<std::uint32_t>(out * num_vcs + v2));
+              add_edge(static_cast<std::uint32_t>(li * total_vcs + vc_base +
+                                                  v),
+                       static_cast<std::uint32_t>(out * total_vcs + vc_base +
+                                                  v2));
             }
           }
+        }
+      }
+    }
+  }
+
+  // Valiant hand-off dependencies: a packet parked at intermediate
+  // endpoint `via` holds a leg-1 channel while requesting its first leg-2
+  // hop toward the final destination. Leg-2 channels start at `vc_base2`
+  // with the packet-sim's injection VC rule.
+  void add_transit_edges(int vc_base2) {
+    const topo::Graph& g = topo.graph();
+    for (int d2 = 0; d2 < topo.num_endpoints(); ++d2) {
+      NodeId goal = topo.endpoint_node(d2);
+      auto dist_ptr = topo.dist_field(goal);
+      const auto& dist = *dist_ptr;
+      for (int via = 0; via < topo.num_endpoints(); ++via) {
+        if (via == d2) continue;
+        NodeId e = topo.endpoint_node(via);
+        if (dist[e] < 0) continue;
+        std::vector<std::uint32_t> outs2;  // leg-2 entry channels from e
+        for (LinkId l : g.out_links(e))
+          if (!g.link_failed(l) && dist[g.link(l).dst] == dist[e] - 1 &&
+              (!filter || filter(e, d2, l))) {
+            int v2 = vc_base2 +
+                     (is_rail_entry(l) ? std::min(1, num_vcs - 1) : 0);
+            outs2.push_back(static_cast<std::uint32_t>(l * total_vcs + v2));
+          }
+        if (outs2.empty()) continue;
+        for (LinkId li = 0; li < g.num_links(); ++li) {
+          const topo::Link& lin = g.link(li);
+          if (lin.dst != e || g.link_failed(li)) continue;
+          if (filter && !filter(lin.src, via, li)) continue;
+          for (int v = 0; v < num_vcs; ++v)
+            for (std::uint32_t c2 : outs2)
+              add_edge(static_cast<std::uint32_t>(li * total_vcs + v), c2);
         }
       }
     }
@@ -150,19 +195,45 @@ bool find_cycle(const std::vector<std::vector<std::uint32_t>>& adj,
 
 }  // namespace
 
-DeadlockReport analyze(const topo::Topology& topology, int num_vcs,
-                       const TurnFilter& filter) {
-  CdgBuilder builder{topology, num_vcs, filter, {}, {}, 0};
-  builder.build();
+namespace {
+
+DeadlockReport finish(CdgBuilder& builder) {
   DeadlockReport report;
   report.channels = builder.adj.size();
   report.dependencies = builder.dependencies;
   std::vector<std::uint32_t> cycle;
   report.deadlock_free = !find_cycle(builder.adj, cycle);
   for (std::uint32_t c : cycle)
-    report.cycle.emplace_back(static_cast<LinkId>(c / num_vcs),
-                              static_cast<int>(c % num_vcs));
+    report.cycle.emplace_back(static_cast<LinkId>(c / builder.total_vcs),
+                              static_cast<int>(c % builder.total_vcs));
   return report;
+}
+
+}  // namespace
+
+DeadlockReport analyze(const topo::Topology& topology, int num_vcs,
+                       const TurnFilter& filter) {
+  CdgBuilder builder{topology, num_vcs, num_vcs, filter, {}, {}, 0};
+  builder.build();
+  return finish(builder);
+}
+
+DeadlockReport analyze_nonminimal(const topo::Topology& topology, int num_vcs,
+                                  const TurnFilter& filter,
+                                  bool separate_phases) {
+  // Each Valiant leg routes minimally, so each leg's CDG is the minimal
+  // CDG over its own VC range; hand-off dependencies only ever point from
+  // leg-1 channels into leg-2 channels. With disjoint ranges the union is
+  // acyclic iff both legs are (the hand-off edges cannot close a cycle);
+  // collapsing both legs onto one range (separate_phases = false) is the
+  // deliberately cyclic rule tests use as a negative control.
+  const int total = num_vcs * (separate_phases ? 2 : 1);
+  const int base2 = separate_phases ? num_vcs : 0;
+  CdgBuilder builder{topology, num_vcs, total, filter, {}, {}, 0};
+  builder.build(0);
+  if (separate_phases) builder.build(base2);
+  builder.add_transit_edges(base2);
+  return finish(builder);
 }
 
 TurnFilter north_last_filter(const topo::HammingMesh& hx) {

@@ -43,6 +43,16 @@ using TurnFilter =
 DeadlockReport analyze(const topo::Topology& topology, int num_vcs,
                        const TurnFilter& filter = nullptr);
 
+/// Checks the two-phase Valiant/UGAL scheme the packet simulator ships:
+/// each leg routes minimally with `num_vcs` VCs of its own, leg 2 in the
+/// upper half of a 2*num_vcs channel space, and the intermediate endpoint
+/// hand-off moves strictly from leg-1 into leg-2 channels. Passing
+/// `separate_phases = false` collapses both legs onto one VC range — the
+/// deliberately cyclic rule used as a negative control in tests.
+DeadlockReport analyze_nonminimal(const topo::Topology& topology, int num_vcs,
+                                  const TurnFilter& filter = nullptr,
+                                  bool separate_phases = true);
+
 /// North-last turn restriction for a HammingMesh: a +y ("north") on-board
 /// hop is only allowed once the packet has no x-direction work left.
 TurnFilter north_last_filter(const topo::HammingMesh& hx);

@@ -10,8 +10,18 @@ namespace hxmesh::sim {
 using topo::LinkId;
 using topo::NodeId;
 
+namespace {
+// Fixed substream of the intermediate-endpoint draws, disjoint from the
+// per-flow path-sampling substreams that share the sweep seed.
+constexpr std::uint64_t kViaStream = 0x71a0'57ed;
+}  // namespace
+
 PacketSim::PacketSim(const topo::Topology& topology, PacketSimConfig config)
-    : topology_(topology), config_(config) {
+    : topology_(topology),
+      config_(config),
+      total_vcs_(config.num_vcs *
+                 (config.route_mode == topo::RouteMode::kMinimal ? 1 : 2)),
+      route_rng_(Rng::substream(config.route_seed, kViaStream)) {
   const topo::Graph& g = topology_.graph();
   routes_.resize(g.num_nodes());
   vc_bump_.resize(g.num_links());
@@ -26,9 +36,8 @@ PacketSim::PacketSim(const topo::Topology& topology, PacketSimConfig config)
   }
   link_busy_until_.assign(g.num_links(), 0);
   link_bytes_.assign(g.num_links(), 0);
-  credits_.assign(g.num_links() * config_.num_vcs,
-                  config_.buffer_bytes_per_vc);
-  input_.resize(g.num_links() * config_.num_vcs);
+  credits_.assign(g.num_links() * total_vcs_, config_.buffer_bytes_per_vc);
+  input_.resize(g.num_links() * total_vcs_);
   rr_.assign(g.num_nodes(), 0);
   in_links_.resize(g.num_nodes());
   for (std::size_t l = 0; l < g.num_links(); ++l)
@@ -94,6 +103,46 @@ void PacketSim::prebuild_routes(const std::vector<int>& dst_ranks) {
   for (NodeId n : todo) routes_[n] = build_route_table(n);
 }
 
+NodeId PacketSim::draw_via(int src, int dst) {
+  const int n = topology_.num_endpoints();
+  int mid = src;
+  while (mid == src || mid == dst)
+    mid = static_cast<int>(route_rng_.uniform(static_cast<std::uint64_t>(n)));
+  return topology_.endpoint_node(mid);
+}
+
+NodeId PacketSim::ugal_choice(NodeId node, NodeId dst_node, NodeId via_node,
+                              std::uint32_t pkt_bytes) {
+  // UGAL-L (booksim's local variant): compare queue-depth x hop-count of
+  // the best minimal injection port against the best port toward the
+  // candidate intermediate; detour only when it is strictly cheaper.
+  const RouteTable& rt_min = route_to(dst_node);
+  const RouteTable& rt_via = route_to(via_node);
+  auto best_credit = [&](const RouteTable& rt) {
+    std::uint64_t best = 0;
+    for (std::uint32_t i = rt.offset[node]; i < rt.offset[node + 1]; ++i) {
+      LinkId l = rt.links[i];
+      if (link_busy_until_[l] > events_.now()) continue;
+      int vc = vc_bump_[l] ? std::min(1, config_.num_vcs - 1) : 0;
+      if (credits(l, vc) < pkt_bytes) continue;
+      best = std::max(best, credits(l, vc));
+    }
+    return best;  // 0: no usable port right now
+  };
+  const std::uint64_t c_min = best_credit(rt_min);
+  const std::uint64_t c_val = best_credit(rt_via);
+  if (c_val == 0) return topo::kInvalidNode;
+  if (c_min == 0) return via_node;
+  const std::uint64_t q_min = config_.buffer_bytes_per_vc - c_min;
+  const std::uint64_t q_val = config_.buffer_bytes_per_vc - c_val;
+  const std::uint64_t d_min =
+      static_cast<std::uint64_t>((*rt_min.dist)[node]);
+  const std::uint64_t d_val =
+      static_cast<std::uint64_t>((*rt_via.dist)[node]) +
+      static_cast<std::uint64_t>((*rt_min.dist)[via_node]);
+  return q_val * d_val < q_min * d_min ? via_node : topo::kInvalidNode;
+}
+
 void PacketSim::send_message(int src, int dst, std::uint64_t bytes,
                              std::function<void()> on_delivered) {
   assert(src != dst && "send_message: src == dst");
@@ -141,7 +190,19 @@ void PacketSim::try_inject(int src) {
         m.bytes - m.packets_injected * config_.packet_bytes;
     const std::uint32_t pkt_bytes = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(config_.packet_bytes, remaining));
-    const RouteTable& rt = route_to(dst_node);
+    // Non-minimal modes pick this packet's intermediate endpoint here; a
+    // blocked injection retries with a fresh draw, which is deterministic
+    // (single-threaded sim, one RNG) and keeps the port choice adaptive.
+    NodeId via = topo::kInvalidNode;
+    if (config_.route_mode != topo::RouteMode::kMinimal &&
+        topology_.num_endpoints() > 2) {
+      const NodeId v = draw_via(src, m.dst);
+      via = config_.route_mode == topo::RouteMode::kValiant
+                ? v
+                : ugal_choice(node, dst_node, v, pkt_bytes);
+    }
+    const RouteTable& rt =
+        route_to(via != topo::kInvalidNode ? via : dst_node);
     // Adaptive injection: among minimal next hops that are free and have
     // credit, pick the one with the most downstream buffer space.
     LinkId best = topo::kInvalidLink;
@@ -172,7 +233,9 @@ void PacketSim::try_inject(int src) {
     p.message = mid;
     p.bytes = pkt_bytes;
     p.dst_node = dst_node;
+    p.via_node = via;
     p.vc = static_cast<std::uint8_t>(best_vc);
+    p.phase = 0;
     p.hops = 0;
     p.injected_at = events_.now();
     ++m.packets_injected;
@@ -216,7 +279,15 @@ void PacketSim::on_packet_arrive(std::uint32_t packet_id, LinkId link) {
   Packet& pkt = packets_[packet_id];
   const topo::Link& lnk = topology_.graph().link(link);
   ++pkt.hops;
-  if (lnk.dst == pkt.dst_node) {
+  if (lnk.dst == pkt.via_node) {
+    // Leg-1 done: from here the packet routes toward its real destination
+    // in the leg-2 VC range (vc_after maps it on the next hop).
+    pkt.via_node = topo::kInvalidNode;
+    pkt.phase = 1;
+  }
+  // A leg-1 path may pass through the real destination; the packet is only
+  // delivered once its detour obligation is cleared.
+  if (lnk.dst == pkt.dst_node && pkt.via_node == topo::kInvalidNode) {
     // Delivered: the endpoint consumes instantly; return the credit.
     Message& m = messages_[pkt.message];
     m.bytes_delivered += pkt.bytes;
@@ -239,7 +310,7 @@ void PacketSim::on_packet_arrive(std::uint32_t packet_id, LinkId link) {
     }
     return;
   }
-  input_[static_cast<std::size_t>(link) * config_.num_vcs + pkt.vc]
+  input_[static_cast<std::size_t>(link) * total_vcs_ + pkt.vc]
       .queue.push_back(packet_id);
   try_forward(lnk.dst);
 }
@@ -255,18 +326,19 @@ void PacketSim::try_forward(NodeId node) {
   const auto& ins = in_links_[node];
   if (ins.empty()) return;
   const std::uint32_t slots =
-      static_cast<std::uint32_t>(ins.size()) * config_.num_vcs;
+      static_cast<std::uint32_t>(ins.size()) * total_vcs_;
   std::uint32_t start = rr_[node] % slots;
   for (std::uint32_t off = 0; off < slots; ++off) {
     std::uint32_t slot = (start + off) % slots;
-    LinkId in_link = ins[slot / config_.num_vcs];
-    int in_vc = static_cast<int>(slot % config_.num_vcs);
+    LinkId in_link = ins[slot / total_vcs_];
+    int in_vc = static_cast<int>(slot % total_vcs_);
     auto& buf =
-        input_[static_cast<std::size_t>(in_link) * config_.num_vcs + in_vc];
+        input_[static_cast<std::size_t>(in_link) * total_vcs_ + in_vc];
     if (buf.queue.empty()) continue;
     std::uint32_t pid = buf.queue.front();
     Packet& p = packets_[pid];
-    const RouteTable& rt = route_to(p.dst_node);
+    const RouteTable& rt = route_to(
+        p.via_node != topo::kInvalidNode ? p.via_node : p.dst_node);
     LinkId best = topo::kInvalidLink;
     int best_vc = 0;
     std::uint64_t best_credit = 0;

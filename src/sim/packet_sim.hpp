@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "sim/event_queue.hpp"
 #include "topo/topology.hpp"
 
@@ -41,6 +42,13 @@ struct PacketSimConfig {
   std::uint64_t buffer_bytes_per_vc = 32 * MiB;   // per input port (App. F)
   int num_vcs = 3;
   picoseconds switch_latency_ps = kBufferLatencyPs;  // in/out buffer, 40 ns
+  // Non-minimal routing: Valiant detours every packet through a random
+  // intermediate endpoint; UGAL-L compares queue-depth x distance of the
+  // minimal and detour injection ports per packet. Both run the two legs
+  // in disjoint VC halves (2 * num_vcs channels per link; the leg-2 range
+  // is what keeps the scheme deadlock-free, see routing/deadlock.hpp).
+  topo::RouteMode route_mode = topo::RouteMode::kMinimal;
+  std::uint64_t route_seed = 1;  // intermediate-endpoint draws
 };
 
 /// Statistics exposed after (or during) a run.
@@ -110,7 +118,11 @@ class PacketSim {
     std::uint32_t message;
     std::uint32_t bytes;
     topo::NodeId dst_node;
+    // Valiant intermediate endpoint: the packet routes toward via_node in
+    // leg-1 VCs until it arrives there, then toward dst_node in leg-2 VCs.
+    topo::NodeId via_node = topo::kInvalidNode;
     std::uint8_t vc;
+    std::uint8_t phase = 0;  // 0 = leg 1 (or minimal), 1 = leg 2
     std::uint8_t hops = 0;
     picoseconds injected_at = 0;
   };
@@ -143,16 +155,34 @@ class PacketSim {
   const RouteTable& route_to(topo::NodeId dst_node);
   std::unique_ptr<RouteTable> build_route_table(topo::NodeId dst_node) const;
   void start_transmission(std::uint32_t packet_id, topo::LinkId link);
+  // Phase-aware VC escalation: each leg escalates within its own
+  // num_vcs-wide range; the leg-1 -> leg-2 hand-off at the intermediate
+  // endpoint re-enters at the leg-2 injection VC. Minimal mode has a
+  // single range (total_vcs_ == num_vcs) and reduces to the original rule.
   int vc_after(const Packet& p, topo::LinkId link) const {
-    return vc_bump_[link] ? std::min<int>(p.vc + 1, config_.num_vcs - 1)
-                          : p.vc;
+    const int base = p.phase ? config_.num_vcs : 0;
+    int v = p.vc;
+    if (v < base)
+      return base + (vc_bump_[link] ? std::min(1, config_.num_vcs - 1) : 0);
+    return vc_bump_[link] ? std::min<int>(v + 1, base + config_.num_vcs - 1)
+                          : v;
   }
   std::uint64_t& credits(topo::LinkId link, int vc) {
-    return credits_[static_cast<std::size_t>(link) * config_.num_vcs + vc];
+    return credits_[static_cast<std::size_t>(link) * total_vcs_ + vc];
   }
+  // Valiant draw: a uniform intermediate endpoint distinct from both ends.
+  topo::NodeId draw_via(int src, int dst);
+  // UGAL-L: via_node to detour through, kInvalidNode to go minimal.
+  topo::NodeId ugal_choice(topo::NodeId node, topo::NodeId dst_node,
+                           topo::NodeId via_node, std::uint32_t pkt_bytes);
 
   const topo::Topology& topology_;
   PacketSimConfig config_;
+  // Channel count per link: num_vcs for minimal routing, 2 * num_vcs for
+  // the two-phase non-minimal modes. All per-(link, vc) state below is
+  // strided by this.
+  int total_vcs_;
+  Rng route_rng_;  // intermediate-endpoint draws (Valiant/UGAL)
   EventQueue events_;
   PacketSimStats stats_;
   // Per-destination routing tables, indexed by destination node (lazy).

@@ -103,7 +103,11 @@ Dragonfly::Dragonfly(DragonflyParams params) : params_(params) {
 }
 
 void Dragonfly::sample_path(int src, int dst, Rng& rng,
-                            std::vector<LinkId>& out) const {
+                            std::vector<LinkId>& out, RouteMode mode) const {
+  // walk_minimal's precomputed router distances describe the healthy
+  // fabric; degraded graphs and detour modes use the generic machinery.
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path(src, dst, rng, out, mode);
   out.clear();
   if (src == dst) return;
   int r1 = router_of(src), r2 = router_of(dst);
@@ -131,7 +135,11 @@ void Dragonfly::walk_minimal(int from, int to, Rng& rng,
 
 void Dragonfly::sample_path_stratified(int src, int dst, int k,
                                        int num_strata, Rng& rng,
-                                       std::vector<LinkId>& out) const {
+                                       std::vector<LinkId>& out,
+                                       RouteMode mode) const {
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path_stratified(src, dst, k, num_strata, rng, out,
+                                            mode);
   (void)num_strata;
   const int g = params_.groups;
   int r1 = router_of(src), r2 = router_of(dst);

@@ -32,14 +32,15 @@ class Dragonfly : public Topology {
   int ports_per_endpoint() const override { return 1; }
   int diameter_formula() const override { return 2 + router_diameter_; }
 
-  void sample_path(int src, int dst, Rng& rng,
-                   std::vector<LinkId>& out) const override;
+  void sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                   RouteMode mode = RouteMode::kMinimal) const override;
 
   /// Odd strata take a Valiant detour through a random third group — the
   /// flow-level stand-in for UGAL's non-minimal adaptive routing.
   void sample_path_stratified(int src, int dst, int k, int num_strata,
-                              Rng& rng,
-                              std::vector<LinkId>& out) const override;
+                              Rng& rng, std::vector<LinkId>& out,
+                              RouteMode mode = RouteMode::kMinimal)
+      const override;
 
   // -- structure accessors -------------------------------------------------
   const DragonflyParams& params() const { return params_; }

@@ -162,8 +162,10 @@ LinkId FatTree::random_link_between(NodeId a, NodeId b, Rng& rng) const {
   return ls[rng.uniform(ls.size())];
 }
 
-void FatTree::sample_path(int src, int dst, Rng& rng,
-                          std::vector<LinkId>& out) const {
+void FatTree::sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                          RouteMode mode) const {
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path(src, dst, rng, out, mode);
   // A uniformly random stratum of a large stratification is an unbiased
   // uniform draw over the spine choices.
   constexpr int kStrata = 1 << 20;
@@ -172,8 +174,11 @@ void FatTree::sample_path(int src, int dst, Rng& rng,
 }
 
 void FatTree::sample_path_stratified(int src, int dst, int k, int num_strata,
-                                     Rng& rng,
-                                     std::vector<LinkId>& out) const {
+                                     Rng& rng, std::vector<LinkId>& out,
+                                     RouteMode mode) const {
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path_stratified(src, dst, k, num_strata, rng, out,
+                                            mode);
   out.clear();
   if (src == dst) return;
   NodeId se = endpoint_node(src), de = endpoint_node(dst);

@@ -31,11 +31,12 @@ class FatTree : public Topology {
   int ports_per_endpoint() const override { return 1; }
   int diameter_formula() const override { return levels_ == 2 ? 4 : 6; }
 
-  void sample_path(int src, int dst, Rng& rng,
-                   std::vector<LinkId>& out) const override;
+  void sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                   RouteMode mode = RouteMode::kMinimal) const override;
   void sample_path_stratified(int src, int dst, int k, int num_strata,
-                              Rng& rng,
-                              std::vector<LinkId>& out) const override;
+                              Rng& rng, std::vector<LinkId>& out,
+                              RouteMode mode = RouteMode::kMinimal)
+      const override;
 
   // -- structure accessors (used by tests and the cost model) -------------
   const FatTreeParams& params() const { return params_; }

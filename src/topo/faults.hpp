@@ -1,0 +1,75 @@
+// Link-fault model: deterministic seeded knock-outs of duplex cables.
+//
+// The paper's fig10 argument — HammingMesh degrades gracefully under link
+// failures thanks to its path diversity — needs failures to be a sweep
+// axis, not a one-off script. A FaultSpec describes which cables die as a
+// pure function of (spec, seed): parsed from the topology spec string
+// ("hx2mesh:8x8:faults=links:0.01:seed=7"), applied once after
+// construction, and serialized back canonically so ResultCache keys and
+// sharded sweeps distinguish faulted from healthy fabrics for free.
+//
+// Faults operate on duplex cables, not directed links: every family builds
+// its links exclusively through Graph::add_duplex, so cable k owns the
+// directed pair (2k, 2k+1) and both directions die together — a failed
+// optical cable takes out both lanes.
+#pragma once
+
+/// \file
+/// \brief FaultSpec — seeded deterministic link knock-outs parsed from and
+/// serialized to topology spec strings — and DisconnectedError, the typed
+/// failure for fabrics that faults have partitioned.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hxmesh::topo {
+
+/// \brief Thrown when a degraded fabric cannot reach every endpoint —
+/// instead of letting -1 "infinite" distances flow silently into routing
+/// tables and rate solvers. Carries a message naming the topology and the
+/// unreachable destination.
+class DisconnectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief Description of the link faults to inject into a topology.
+///
+/// Two modes: kFraction fails each duplex cable independently with
+/// probability `fraction` (the fig10 sweep axis); kCount fails exactly
+/// `count` cables chosen by a seeded shuffle (the oracle-equivalence tests'
+/// "1-5 seeded faults"). In both modes the victim draw is a pure function
+/// of (mode, fraction/count, seed) — identical across runs, threads, and
+/// shard processes.
+struct FaultSpec {
+  enum class Mode : std::uint8_t { kNone, kFraction, kCount };
+
+  Mode mode = Mode::kNone;
+  double fraction = 0.0;     ///< kFraction: per-cable failure probability
+  int count = 0;             ///< kCount: exact number of cables to fail
+  std::uint64_t seed = 1;    ///< substream base of the victim draw
+
+  bool empty() const { return mode == Mode::kNone; }
+
+  /// \brief Canonical spec fragment, e.g. "faults=links:0.01:seed=7".
+  /// Empty string for an empty spec; `seed=` is omitted when it equals the
+  /// default (1), mirroring how TrafficSpec elides default fields. The
+  /// round-trip contract is parse(spec()) == *this for every canonical
+  /// spec, which is what lets ResultCache hash the raw topology string.
+  std::string spec() const;
+
+  /// \brief Parses a canonical fragment ("faults=links:<p|n>[:seed=S]").
+  /// A rate token containing '.', 'e', or 'E' is a fraction in [0, 1];
+  /// a plain integer is an exact cable count.
+  /// \throws std::invalid_argument on unknown kinds, malformed rates,
+  ///         out-of-range fractions, or trailing junk (names the token).
+  static FaultSpec parse(const std::string& text);
+
+  friend bool operator==(const FaultSpec& a, const FaultSpec& b) {
+    return a.mode == b.mode && a.fraction == b.fraction &&
+           a.count == b.count && a.seed == b.seed;
+  }
+};
+
+}  // namespace hxmesh::topo

@@ -84,20 +84,39 @@ std::span<const LinkId> Graph::bundle(NodeId a, NodeId b) const {
           idx.pair_off[pair + 1] - idx.pair_off[pair]};
 }
 
+void Graph::set_link_failed(LinkId l, bool failed) {
+  if (failed_.size() < links_.size()) failed_.resize(links_.size(), 0);
+  failed_[l] = failed ? 1 : 0;
+  if (failed) {
+    has_failed_ = true;
+  } else {
+    has_failed_ = num_failed_links() > 0;
+  }
+}
+
+std::size_t Graph::num_failed_links() const {
+  std::size_t n = 0;
+  for (std::uint8_t f : failed_) n += f;
+  return n;
+}
+
 namespace {
 
 std::vector<std::int32_t> bfs(
     NodeId start, std::size_t n,
     const std::vector<std::vector<LinkId>>& adjacency,
-    const std::vector<Link>& links, bool follow_src) {
+    const std::vector<Link>& links, bool follow_src,
+    const std::vector<std::uint8_t>& failed) {
   std::vector<std::int32_t> dist(n, -1);
   std::deque<NodeId> queue;
   dist[start] = 0;
   queue.push_back(start);
+  const bool any_failed = !failed.empty();
   while (!queue.empty()) {
     NodeId u = queue.front();
     queue.pop_front();
     for (LinkId l : adjacency[u]) {
+      if (any_failed && failed[l]) continue;
       NodeId v = follow_src ? links[l].src : links[l].dst;
       if (dist[v] < 0) {
         dist[v] = dist[u] + 1;
@@ -111,11 +130,15 @@ std::vector<std::int32_t> bfs(
 }  // namespace
 
 std::vector<std::int32_t> Graph::dist_to(NodeId dst) const {
-  return bfs(dst, num_nodes(), in_, links_, /*follow_src=*/true);
+  static const std::vector<std::uint8_t> kNoFailures;
+  return bfs(dst, num_nodes(), in_, links_, /*follow_src=*/true,
+             has_failed_ ? failed_ : kNoFailures);
 }
 
 std::vector<std::int32_t> Graph::dist_from(NodeId src) const {
-  return bfs(src, num_nodes(), out_, links_, /*follow_src=*/false);
+  static const std::vector<std::uint8_t> kNoFailures;
+  return bfs(src, num_nodes(), out_, links_, /*follow_src=*/false,
+             has_failed_ ? failed_ : kNoFailures);
 }
 
 }  // namespace hxmesh::topo

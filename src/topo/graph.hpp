@@ -83,11 +83,31 @@ class Graph {
   LinkId find_link(NodeId a, NodeId b) const;
 
   /// Hop distance (number of links) from every node to `dst`; -1 when
-  /// unreachable. Computed by reverse BFS over directed links.
+  /// unreachable. Computed by reverse BFS over directed links, skipping
+  /// failed ones.
   std::vector<std::int32_t> dist_to(NodeId dst) const;
 
-  /// Hop distance from `src` to every node (forward BFS).
+  /// Hop distance from `src` to every node (forward BFS, failed links
+  /// skipped).
   std::vector<std::int32_t> dist_from(NodeId src) const;
+
+  // -- link faults ---------------------------------------------------------
+  // A failed link still exists (ids, bundles, and out-link order are
+  // unchanged — candidate-order contracts survive fault injection); it just
+  // carries no traffic: every BFS and every candidate rule skips it.
+
+  /// Marks one directed link failed (or healthy again).
+  void set_link_failed(LinkId l, bool failed = true);
+
+  /// True when `l` is marked failed. The has_failed_links() fast path keeps
+  /// this free on healthy graphs — the overwhelmingly common case.
+  bool link_failed(LinkId l) const { return has_failed_ && failed_[l] != 0; }
+
+  /// True when any link is marked failed.
+  bool has_failed_links() const { return has_failed_; }
+
+  /// Number of directed links currently marked failed.
+  std::size_t num_failed_links() const;
 
  private:
   // Multi-edge index: per source node, the distinct out-neighbors sorted
@@ -104,6 +124,10 @@ class Graph {
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> out_;
   std::vector<std::vector<LinkId>> in_;
+  // Lazily sized on the first set_link_failed; empty (and has_failed_
+  // false) on healthy graphs.
+  std::vector<std::uint8_t> failed_;
+  bool has_failed_ = false;
   mutable std::once_flag bundle_once_;
   mutable std::unique_ptr<BundleIndex> bundles_;
 };

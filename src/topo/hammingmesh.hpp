@@ -42,11 +42,12 @@ class HammingMesh : public Topology {
   int ports_per_endpoint() const override { return 4; }
   int diameter_formula() const override;
 
-  void sample_path(int src, int dst, Rng& rng,
-                   std::vector<LinkId>& out) const override;
+  void sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                   RouteMode mode = RouteMode::kMinimal) const override;
   void sample_path_stratified(int src, int dst, int k, int num_strata,
-                              Rng& rng,
-                              std::vector<LinkId>& out) const override;
+                              Rng& rng, std::vector<LinkId>& out,
+                              RouteMode mode = RouteMode::kMinimal)
+      const override;
 
   // -- coordinates ---------------------------------------------------------
   const HxMeshParams& params() const { return params_; }
@@ -70,6 +71,7 @@ class HammingMesh : public Topology {
   /// (validated against BFS in tests).
   int dist(int src_rank, int dst_rank) const;
   int hop_distance(int src, int dst) const override {
+    if (faulted()) return Topology::hop_distance(src, dst);
     return dist(src, dst);
   }
 
@@ -122,6 +124,11 @@ class HammingMesh : public Topology {
   void install_oracle();
   void route(int src, int dst, int stratum, Rng& rng,
              std::vector<LinkId>& out) const;
+  // Valiant detour: two minimal route() legs joined at a random
+  // intermediate endpoint (the second leg flips the dimension-order bit so
+  // the join does not double back deterministically).
+  void route_valiant(int src, int dst, int stratum, Rng& rng,
+                     std::vector<LinkId>& out) const;
   LinkId random_link_between(NodeId u, NodeId v, Rng& rng) const;
 
   HxMeshParams params_;

@@ -60,14 +60,19 @@ HyperX::HyperX(HyperXParams params) : params_(params) {
   set_routing_oracle(std::make_unique<Oracle>(*this));
 }
 
-void HyperX::sample_path(int src, int dst, Rng& rng,
-                         std::vector<LinkId>& out) const {
+void HyperX::sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                         RouteMode mode) const {
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path(src, dst, rng, out, mode);
   route(src, dst, static_cast<int>(rng.uniform(1 << 20)), rng, out);
 }
 
 void HyperX::sample_path_stratified(int src, int dst, int k, int num_strata,
-                                    Rng& rng,
-                                    std::vector<LinkId>& out) const {
+                                    Rng& rng, std::vector<LinkId>& out,
+                                    RouteMode mode) const {
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path_stratified(src, dst, k, num_strata, rng, out,
+                                            mode);
   (void)num_strata;
   std::uint32_t h = static_cast<std::uint32_t>(src) * 2654435761u ^
                     static_cast<std::uint32_t>(dst) * 0x9e3779b9u;

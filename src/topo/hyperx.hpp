@@ -38,6 +38,7 @@ class HyperX : public Topology {
     return rail(params_.x) + rail(params_.y);
   }
   int hop_distance(int src, int dst) const override {
+    if (faulted()) return Topology::hop_distance(src, dst);
     int s1 = src / params_.endpoints_per_switch;
     int s2 = dst / params_.endpoints_per_switch;
     if (s1 == s2) return src == dst ? 0 : 2;
@@ -45,11 +46,12 @@ class HyperX : public Topology {
            (s1 / params_.x != s2 / params_.x);
   }
 
-  void sample_path(int src, int dst, Rng& rng,
-                   std::vector<LinkId>& out) const override;
+  void sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                   RouteMode mode = RouteMode::kMinimal) const override;
   void sample_path_stratified(int src, int dst, int k, int num_strata,
-                              Rng& rng,
-                              std::vector<LinkId>& out) const override;
+                              Rng& rng, std::vector<LinkId>& out,
+                              RouteMode mode = RouteMode::kMinimal)
+      const override;
 
   const HyperXParams& params() const { return params_; }
   int switch_at(int col, int row) const { return row * params_.x + col; }

@@ -41,7 +41,9 @@ void RoutingOracle::next_hops(NodeId from, NodeId dst_node,
   const std::int32_t d = node_dist(from, dst_node);
   if (d <= 0) return;
   for (LinkId l : graph_.out_links(from))
-    if (node_dist(graph_.link(l).dst, dst_node) == d - 1) out.push_back(l);
+    if (!graph_.link_failed(l) &&
+        node_dist(graph_.link(l).dst, dst_node) == d - 1)
+      out.push_back(l);
 }
 
 void RoutingOracle::next_hops_from_field(const Graph& graph,
@@ -49,8 +51,12 @@ void RoutingOracle::next_hops_from_field(const Graph& graph,
                                          NodeId from,
                                          std::vector<LinkId>& out) {
   if (field[from] <= 0) return;
+  // Failed links are skipped: a dead link may still point at a node the
+  // field puts one hop closer (reachable another way), but a packet cannot
+  // take it.
   for (LinkId l : graph.out_links(from))
-    if (field[graph.link(l).dst] == field[from] - 1) out.push_back(l);
+    if (!graph.link_failed(l) && field[graph.link(l).dst] == field[from] - 1)
+      out.push_back(l);
 }
 
 std::int32_t BfsOracle::node_dist(NodeId from, NodeId dst_node) const {

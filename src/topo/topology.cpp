@@ -8,6 +8,31 @@ namespace hxmesh::topo {
 
 namespace {
 constexpr std::size_t kDistCacheCap = 2048;
+
+// Fixed substream index of the fault-victim draw: keeps fault RNG
+// consumption disjoint from the per-flow substreams even when a sweep
+// reuses one seed for both axes.
+constexpr std::uint64_t kFaultStream = 0x0fa0'17ed;
+}
+
+const char* route_mode_name(RouteMode mode) {
+  switch (mode) {
+    case RouteMode::kMinimal:
+      return "minimal";
+    case RouteMode::kValiant:
+      return "valiant";
+    case RouteMode::kUgal:
+      return "ugal";
+  }
+  return "?";
+}
+
+RouteMode parse_route_mode(const std::string& text) {
+  if (text == "minimal") return RouteMode::kMinimal;
+  if (text == "valiant") return RouteMode::kValiant;
+  if (text == "ugal") return RouteMode::kUgal;
+  throw std::invalid_argument("parse_route_mode: unknown mode '" + text +
+                              "' (minimal, valiant, ugal)");
 }
 
 int Topology::add_endpoint() {
@@ -25,11 +50,72 @@ void Topology::finalize() {
 }
 
 const RoutingOracle& Topology::routing_oracle() const {
-  if (oracle_) return *oracle_;
+  // Closed forms describe the healthy fabric; once links have failed the
+  // BFS fallback is the only oracle whose answers match the graph.
+  if (oracle_ && !graph_.has_failed_links()) return *oracle_;
   std::call_once(oracle_once_, [&] {
     fallback_oracle_ = std::make_unique<BfsOracle>(graph_);
   });
   return *fallback_oracle_;
+}
+
+void Topology::fail_links(std::span<const LinkId> links) {
+  for (LinkId l : links) {
+    graph_.set_link_failed(l);
+    graph_.set_link_failed(l ^ 1u);  // duplex partner (add_duplex pairs)
+  }
+  // Cached fields describe the pre-fault graph; drop them.
+  std::unique_lock lock(dist_mutex_);
+  dist_cache_.clear();
+  dist_cache_order_.clear();
+}
+
+void Topology::apply_faults(const FaultSpec& spec) {
+  if (spec.empty()) return;
+  fault_spec_ = spec;
+  const std::size_t cables = graph_.num_links() / 2;
+  Rng rng = Rng::substream(spec.seed, kFaultStream);
+
+  // Eligibility against the progressively degraded graph: failing this
+  // cable must leave both of its endpoints with at least one healthy
+  // out-link, so no node (in particular no single-cable fat-tree or
+  // Dragonfly endpoint) is severed outright. Partitions across healthy
+  // links are still possible and surface as DisconnectedError at fill.
+  auto healthy_out = [&](NodeId n) {
+    int count = 0;
+    for (LinkId l : graph_.out_links(n))
+      if (!graph_.link_failed(l)) ++count;
+    return count;
+  };
+  auto fail_cable_if_eligible = [&](std::size_t cable) {
+    const LinkId fwd = static_cast<LinkId>(2 * cable);
+    const Link& lnk = graph_.link(fwd);
+    if (healthy_out(lnk.src) < 2 || healthy_out(lnk.dst) < 2) return false;
+    const LinkId pair[] = {fwd};
+    fail_links(pair);
+    return true;
+  };
+
+  if (spec.mode == FaultSpec::Mode::kFraction) {
+    // One uniform per cable in cable-id order — the victim draw is a pure
+    // function of (seed, cable id), independent of eligibility outcomes.
+    std::vector<std::size_t> victims;
+    for (std::size_t c = 0; c < cables; ++c)
+      if (rng.uniform_double() < spec.fraction) victims.push_back(c);
+    for (std::size_t c : victims) fail_cable_if_eligible(c);
+    return;
+  }
+
+  // kCount: seeded shuffle, first `count` eligible cables fail.
+  std::vector<std::uint32_t> order(cables);
+  for (std::size_t c = 0; c < cables; ++c)
+    order[c] = static_cast<std::uint32_t>(c);
+  rng.shuffle(order);
+  int remaining = spec.count;
+  for (std::uint32_t c : order) {
+    if (remaining == 0) break;
+    if (fail_cable_if_eligible(c)) --remaining;
+  }
 }
 
 Topology::DistField Topology::dist_field(NodeId dst_node) const {
@@ -51,6 +137,17 @@ Topology::DistField Topology::dist_field(NodeId dst_node) const {
     const RoutingOracle& oracle = routing_oracle();
     oracle.fill(dst_node, *field);
     detail::count_fill(oracle.closed_form());
+    if (graph_.has_failed_links()) {
+      // Faults may partition the fabric; surface that as a typed error at
+      // fill time instead of letting -1 distances silently poison route
+      // tables and rate solvers downstream.
+      for (std::size_t r = 0; r < endpoints_.size(); ++r)
+        if ((*field)[endpoints_[r]] < 0)
+          throw DisconnectedError(
+              name() + ": link faults disconnect endpoint " +
+              std::to_string(r) + " from endpoint " +
+              std::to_string(rank_of_node_[dst_node]));
+    }
   } else {
     *field = graph_.dist_to(dst_node);
     detail::count_fill(false);
@@ -71,7 +168,13 @@ Topology::DistField Topology::dist_field(NodeId dst_node) const {
 }
 
 void Topology::sample_path(int src, int dst, Rng& rng,
-                           std::vector<LinkId>& out) const {
+                           std::vector<LinkId>& out, RouteMode mode) const {
+  if (mode == RouteMode::kValiant) return sample_valiant_path(src, dst, rng, out);
+  if (mode == RouteMode::kUgal && rng.uniform(2) != 0)
+    return sample_valiant_path(src, dst, rng, out);
+  // Minimal (also UGAL's minimal half): random minimal walk over the BFS
+  // distance field — at each node pick uniformly among healthy links that
+  // strictly decrease the distance.
   out.clear();
   NodeId cur = endpoint_node(src);
   NodeId goal = endpoint_node(dst);
@@ -79,18 +182,49 @@ void Topology::sample_path(int src, int dst, Rng& rng,
   DistField field = dist_field(goal);
   const auto& dist = *field;
   assert(dist[cur] >= 0 && "destination unreachable");
-  // Random minimal walk: at each node pick uniformly among links that
-  // strictly decrease the BFS distance.
   std::vector<LinkId> cand;
   while (cur != goal) {
     cand.clear();
     for (LinkId l : graph_.out_links(cur))
-      if (dist[graph_.link(l).dst] == dist[cur] - 1) cand.push_back(l);
+      if (!graph_.link_failed(l) &&
+          dist[graph_.link(l).dst] == dist[cur] - 1)
+        cand.push_back(l);
     assert(!cand.empty());
     LinkId pick = cand[rng.uniform(cand.size())];
     out.push_back(pick);
     cur = graph_.link(pick).dst;
   }
+}
+
+void Topology::sample_path_stratified(int src, int dst, int k, int num_strata,
+                                      Rng& rng, std::vector<LinkId>& out,
+                                      RouteMode mode) const {
+  (void)num_strata;
+  if (mode == RouteMode::kValiant)
+    return sample_valiant_path(src, dst, rng, out);
+  if (mode == RouteMode::kUgal) {
+    // Deterministic 50/50 over the strata: odd subflows detour, even ones
+    // stay minimal — the subflow ensemble realizes the mode's mix without
+    // consuming an extra RNG draw per path.
+    if ((k & 1) != 0) return sample_valiant_path(src, dst, rng, out);
+    return sample_path_stratified(src, dst, k, num_strata, rng, out,
+                                  RouteMode::kMinimal);
+  }
+  sample_path(src, dst, rng, out, RouteMode::kMinimal);
+}
+
+void Topology::sample_valiant_path(int src, int dst, Rng& rng,
+                                   std::vector<LinkId>& out) const {
+  out.clear();
+  if (src == dst) return;
+  const int n = num_endpoints();
+  if (n <= 2) return sample_path(src, dst, rng, out, RouteMode::kMinimal);
+  int mid = src;
+  while (mid == src || mid == dst) mid = static_cast<int>(rng.uniform(n));
+  sample_path(src, mid, rng, out, RouteMode::kMinimal);
+  std::vector<LinkId> tail;
+  sample_path(mid, dst, rng, tail, RouteMode::kMinimal);
+  out.insert(out.end(), tail.begin(), tail.end());
 }
 
 int Topology::diameter(int exact_limit) const {

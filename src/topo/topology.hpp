@@ -25,10 +25,30 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "topo/faults.hpp"
 #include "topo/graph.hpp"
 #include "topo/routing_oracle.hpp"
 
 namespace hxmesh::topo {
+
+/// \brief Routing mode of a path sample or packet route (per-TrafficSpec,
+/// `route=minimal|valiant|ugal`).
+///
+/// kMinimal is the default everywhere and is byte-identical to the
+/// pre-mode behavior. kValiant routes via a uniformly random intermediate
+/// endpoint (two minimal legs — Valiant's load balancing). kUgal picks
+/// minimal or Valiant per path: the flow-level stand-in draws 50/50, the
+/// packet simulator compares queue-occupancy x distance products (UGAL-L).
+enum class RouteMode : std::uint8_t { kMinimal = 0, kValiant = 1, kUgal = 2 };
+
+inline constexpr int kNumRouteModes = 3;
+
+/// \brief Canonical lowercase name ("minimal", "valiant", "ugal").
+const char* route_mode_name(RouteMode mode);
+
+/// \brief Parses a route_mode_name string.
+/// \throws std::invalid_argument naming the bad token and the options.
+RouteMode parse_route_mode(const std::string& text);
 
 class Topology {
  public:
@@ -59,25 +79,29 @@ class Topology {
     return ports_per_endpoint() * kLinkBandwidthBps;
   }
 
-  /// Samples a uniformly random minimal path (link id sequence) from the
-  /// endpoint `src` to the endpoint `dst`. The default walks the BFS
-  /// distance field (exact minimal, cached per destination); topologies
-  /// override it with closed-form constructions for speed at scale.
+  /// Samples a random path (link id sequence) from the endpoint `src` to
+  /// the endpoint `dst` under `mode`. kMinimal (the default) draws a
+  /// uniformly random minimal path: the base walks the BFS distance field
+  /// (exact minimal, cached per destination, failed links skipped);
+  /// topologies override it with closed-form constructions for speed at
+  /// scale, deferring back to the base when the fabric is degraded or the
+  /// mode is non-minimal (unless they implement it natively, as
+  /// HammingMesh does).
   virtual void sample_path(int src, int dst, Rng& rng,
-                           std::vector<LinkId>& out) const;
+                           std::vector<LinkId>& out,
+                           RouteMode mode = RouteMode::kMinimal) const;
 
   /// Samples path `k` of `num_strata` for a flow. Topologies override this
   /// to spread a flow's subflows evenly over the minimal-path diversity
   /// (e.g. strided spine choice in fat trees), which is how the flow-level
   /// model approximates per-packet adaptive routing / packet spraying.
-  /// Defaults to an independent sample_path() draw.
+  /// Defaults to an independent sample_path() draw; under kUgal, even
+  /// strata go minimal and odd strata take the Valiant detour, so a flow's
+  /// subflow ensemble is the 50/50 mix the mode prescribes.
   virtual void sample_path_stratified(int src, int dst, int k, int num_strata,
-                                      Rng& rng,
-                                      std::vector<LinkId>& out) const {
-    (void)k;
-    (void)num_strata;
-    sample_path(src, dst, rng, out);
-  }
+                                      Rng& rng, std::vector<LinkId>& out,
+                                      RouteMode mode = RouteMode::kMinimal)
+      const;
 
   /// Network diameter in cables between accelerators, answered through the
   /// routing oracle (closed-form node_dist per endpoint pair; BFS only on
@@ -113,10 +137,40 @@ class Topology {
 
   /// The routing oracle of this topology: every built-in family installs a
   /// closed-form oracle at construction; anything else gets a lazily
-  /// created BfsOracle. Valid for the topology's lifetime.
+  /// created BfsOracle. On a faulted fabric the closed forms no longer
+  /// hold, so the BfsOracle fallback (which re-fills over the degraded
+  /// graph) is served instead. Valid for the topology's lifetime.
   const RoutingOracle& routing_oracle() const;
 
+  // -- link faults ---------------------------------------------------------
+
+  /// Applies `spec` as seeded duplex-cable knock-outs. kFraction draws one
+  /// uniform per cable in cable-id order (so the victim set is independent
+  /// of eligibility evaluation); kCount walks a seeded shuffle of all
+  /// cables taking the first `count` eligible. A cable is eligible only
+  /// while neither endpoint of it would drop to zero healthy out-links —
+  /// single-cable endpoints (fat tree, Dragonfly) stay attached. Must be
+  /// called before the first routing query; call it at most once.
+  void apply_faults(const FaultSpec& spec);
+
+  /// Fails the given directed links and their duplex partners (`l ^ 1` —
+  /// add_duplex allocates pairs). The test-facing primitive under
+  /// apply_faults; resets the distance-field cache.
+  void fail_links(std::span<const LinkId> links);
+
+  /// True when any link of the graph is failed.
+  bool faulted() const { return graph_.has_failed_links(); }
+
+  /// The spec applied by apply_faults (empty when none was).
+  const FaultSpec& fault_spec() const { return fault_spec_; }
+
  protected:
+  /// Valiant path: a uniformly random intermediate endpoint (distinct from
+  /// src and dst) joined by two minimal legs sampled through the virtual
+  /// sample_path — families' closed forms serve the legs on healthy
+  /// fabrics. Falls back to one minimal leg when no intermediate exists.
+  void sample_valiant_path(int src, int dst, Rng& rng,
+                           std::vector<LinkId>& out) const;
   /// Registers a new endpoint node; returns its rank.
   int add_endpoint();
   /// Registers a new switch node.
@@ -134,6 +188,7 @@ class Topology {
  private:
   std::vector<NodeId> endpoints_;
   std::vector<std::int32_t> rank_of_node_;
+  FaultSpec fault_spec_;
   // Set by the family constructor (closed form) or lazily on first use
   // (BFS fallback, guarded by oracle_once_).
   std::unique_ptr<RoutingOracle> oracle_;

@@ -13,7 +13,7 @@ class TorusOracle final : public RoutingOracle {
  public:
   explicit TorusOracle(const Torus& t) : RoutingOracle(t.graph()), t_(t) {}
   std::int32_t node_dist(NodeId from, NodeId dst_node) const override {
-    return t_.hop_distance(t_.rank_of(from), t_.rank_of(dst_node));
+    return t_.ring_distance(t_.rank_of(from), t_.rank_of(dst_node));
   }
 
  private:
@@ -63,8 +63,12 @@ std::string Torus::name() const {
          " 2D torus";
 }
 
-void Torus::sample_path(int src, int dst, Rng& rng,
-                        std::vector<LinkId>& out) const {
+void Torus::sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                        RouteMode mode) const {
+  // The staircase below assumes every ring link exists; degraded fabrics
+  // and detour modes route over the generic BFS machinery instead.
+  if (faulted() || mode != RouteMode::kMinimal)
+    return Topology::sample_path(src, dst, rng, out, mode);
   out.clear();
   if (src == dst) return;
   const int X = params_.width, Y = params_.height;

@@ -32,10 +32,17 @@ class Torus : public Topology {
     return params_.width / 2 + params_.height / 2;
   }
 
-  void sample_path(int src, int dst, Rng& rng,
-                   std::vector<LinkId>& out) const override;
+  void sample_path(int src, int dst, Rng& rng, std::vector<LinkId>& out,
+                   RouteMode mode = RouteMode::kMinimal) const override;
 
   int hop_distance(int src, int dst) const override {
+    if (faulted()) return Topology::hop_distance(src, dst);
+    return ring_distance(src, dst);
+  }
+
+  /// Closed-form ring metric of the healthy torus (fault-blind; the
+  /// oracle's node_dist on the fabric as built).
+  int ring_distance(int src, int dst) const {
     int dx = std::abs(x_of(src) - x_of(dst));
     int dy = std::abs(y_of(src) - y_of(dst));
     return std::min(dx, params_.width - dx) +

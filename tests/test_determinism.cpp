@@ -257,8 +257,9 @@ TEST(FlowSolverDeterminism, SelfFlowsAndRepeatSolvesMatchReference) {
 // ------------------------------------------- regression grid, both engines --
 
 #ifdef HXMESH_SOURCE_DIR
-// The full 19-row pinned grid (flow and packet engines, up to
-// hx2mesh:256x256) rendered through the harness must stay byte-identical
+// The full 27-row pinned grid (flow and packet engines, up to
+// hx2mesh:256x256, plus faulted fabrics under Valiant/UGAL routing)
+// rendered through the harness must stay byte-identical
 // to the committed baseline: the optimizations change speed, not results.
 TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
   const std::string base = std::string(HXMESH_SOURCE_DIR) + "/bench/baselines";
@@ -286,7 +287,7 @@ TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
 
   engine::ExperimentHarness harness;
   std::vector<engine::SweepRow> rows = harness.run_grids(specs);
-  EXPECT_EQ(rows.size(), 19u) << "regression grid changed size; update the "
+  EXPECT_EQ(rows.size(), 27u) << "regression grid changed size; update the "
                                  "baselines and this test together";
   std::ostringstream rendered;
   engine::write_json(rendered, rows);
@@ -297,6 +298,73 @@ TEST(RegressionGridDeterminism, HarnessReproducesCommittedBaselineByteExact) {
       << "harness rows diverged from bench/baselines/bench_regression.json";
 }
 #endif  // HXMESH_SOURCE_DIR
+
+// --------------------------------- non-minimal routing, faulted fabrics --
+
+std::string render_rows(const std::vector<engine::SweepRow>& rows) {
+  std::ostringstream out;
+  engine::write_json(out, rows);
+  return out.str();
+}
+
+// Valiant and UGAL packet rows — including on a degraded fabric — must be
+// byte-identical for any harness thread count, and a sharded run_cells
+// split merged back in plan order must reproduce the single-process rows.
+// The via draws come from a per-cell substream RNG inside a single-threaded
+// PacketSim, so neither the pool width nor the shard boundaries may leak
+// into the rows.
+TEST(RouteModeDeterminism, PacketRowsIndependentOfThreadsAndSharding) {
+  engine::GridSpec grid;
+  grid.config.topologies = {"hx2mesh:2x2", "hx2mesh:2x2:faults=links:1:seed=5",
+                            "torus:4x4"};
+  grid.config.engines = {"packet"};
+  grid.config.patterns = {flow::parse_traffic("shift:1:route=valiant"),
+                          flow::parse_traffic("perm:route=ugal"),
+                          flow::parse_traffic("alltoall:route=valiant")};
+  grid.config.seeds = {1, 7};
+
+  engine::ExperimentHarness narrow(1);
+  engine::ExperimentHarness wide(4);
+  const std::vector<engine::SweepRow> rows1 = narrow.run_grid(grid.config);
+  const std::vector<engine::SweepRow> rows4 = wide.run_grid(grid.config);
+  ASSERT_EQ(rows1.size(), 18u);
+  EXPECT_EQ(render_rows(rows1), render_rows(rows4))
+      << "packet rows depend on the harness thread count";
+
+  engine::GridPlan plan({grid});
+  ASSERT_EQ(plan.total_cells(), rows1.size());
+  std::vector<engine::SweepRow> merged;
+  for (unsigned shard = 0; shard < 4; ++shard) {
+    auto [lo, hi] = plan.shard_cells(shard, 4);
+    std::vector<engine::SweepRow> part = wide.run_cells(plan, lo, hi, nullptr);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(render_rows(merged), render_rows(rows1))
+      << "sharded merge diverged from the single-process sweep";
+}
+
+// The flow solver's parallel path sampler must stay width-invariant when
+// the grid asks for Valiant paths (each flow draws from its own
+// counter-seeded substream, so the detour draws cannot depend on chunking).
+TEST(RouteModeDeterminism, ValiantRatesIndependentOfSampleWorkerCount) {
+  topo::HammingMesh hx({.a = 2, .b = 2, .x = 8, .y = 8});
+  const int n = hx.num_endpoints();
+  std::vector<flow::Flow> flows;
+  for (int shift = 1; shift <= 16; ++shift)
+    for (const flow::Flow& f : flow::shift_pattern(n, shift))
+      flows.push_back(f);
+  ASSERT_GE(flows.size(), 2048u) << "grow the flow set: it no longer "
+                                    "reaches the parallel sampling path";
+  std::vector<flow::Flow> serial = flows, wide = flows;
+  flow::FlowSolverConfig config;
+  config.route = topo::RouteMode::kValiant;
+  config.sample_threads = 1;
+  flow::FlowSolver(hx, config).solve(serial);
+  config.sample_threads = 8;
+  flow::FlowSolver(hx, config).solve(wide);
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    ASSERT_EQ(serial[i].rate, wide[i].rate) << "flow " << i;
+}
 
 }  // namespace
 }  // namespace hxmesh

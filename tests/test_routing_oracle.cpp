@@ -232,5 +232,106 @@ TEST(RoutingOracle, CountersObserveFillsAndCacheHits) {
   EXPECT_EQ(after.bfs_fills, before.bfs_fills);
 }
 
+// ---------------------------------------------------- degraded fabrics --
+// Independent reference BFS over the faulted graph: plain queue sweep that
+// skips failed links, sharing no code with Graph::dist_to.
+std::vector<std::int32_t> reference_bfs_to(const Graph& g, NodeId goal) {
+  std::vector<std::int32_t> dist(g.num_nodes(), -1);
+  std::vector<NodeId> queue{goal};
+  dist[goal] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    // Reverse BFS: relax over in-links (v -> u means dist[v] <= dist[u]+1).
+    for (std::size_t l = 0; l < g.num_links(); ++l) {
+      const Link& lnk = g.link(static_cast<LinkId>(l));
+      if (lnk.dst != u || g.link_failed(static_cast<LinkId>(l))) continue;
+      if (dist[lnk.src] >= 0) continue;
+      dist[lnk.src] = dist[u] + 1;
+      queue.push_back(lnk.src);
+    }
+  }
+  return dist;
+}
+
+// After seeded faults every family must route over the degraded graph:
+// the served oracle's distances and candidate sets (membership AND order)
+// must match the reference BFS that skips failed links.
+TEST(RoutingOracle, DegradedGraphsMatchReferenceBfs) {
+  for (int nfaults = 1; nfaults <= 5; ++nfaults) {
+    for (const auto& [name, t] : oracle_zoo()) {
+      t->apply_faults(FaultSpec::parse(
+          "faults=links:" + std::to_string(nfaults) + ":seed=" +
+          std::to_string(17 + nfaults)));
+      ASSERT_TRUE(t->faulted()) << name;
+      const Graph& g = t->graph();
+      const RoutingOracle& oracle = t->routing_oracle();
+      std::vector<std::int32_t> field;
+      std::vector<LinkId> got, want;
+      for (int dst = 0; dst < t->num_endpoints();
+           dst += dst_stride(*t) * 4) {
+        const NodeId goal = t->endpoint_node(dst);
+        const auto ref = reference_bfs_to(g, goal);
+        oracle.fill(goal, field);
+        for (NodeId n = 0; n < g.num_nodes(); ++n) {
+          ASSERT_EQ(field[n], ref[n])
+              << name << " (" << nfaults << " faults): distance diverged "
+              << "at node " << n << " toward endpoint " << dst;
+          want.clear();
+          if (ref[n] > 0)
+            for (LinkId l : g.out_links(n))
+              if (!g.link_failed(l) && ref[g.link(l).dst] == ref[n] - 1)
+                want.push_back(l);
+          oracle.next_hops(n, goal, got);
+          ASSERT_EQ(got, want)
+              << name << " (" << nfaults << " faults): candidates of node "
+              << n << " toward endpoint " << dst;
+        }
+      }
+    }
+  }
+}
+
+// Faults flip the serving oracle to the BFS fallback; sampled minimal
+// paths stay valid (connected, healthy links only, reference-BFS length).
+TEST(RoutingOracle, DegradedSampledPathsAvoidFailedLinks) {
+  for (const auto& [name, t] : oracle_zoo()) {
+    t->apply_faults(FaultSpec::parse("faults=links:3:seed=5"));
+    EXPECT_FALSE(t->routing_oracle().closed_form()) << name;
+    const Graph& g = t->graph();
+    Rng rng(23);
+    std::vector<LinkId> path;
+    const int n = t->num_endpoints();
+    for (int trial = 0; trial < 24; ++trial) {
+      const int src = static_cast<int>(rng.uniform(n));
+      const int dst = static_cast<int>(rng.uniform(n));
+      if (src == dst) continue;
+      t->sample_path(src, dst, rng, path);
+      NodeId cur = t->endpoint_node(src);
+      for (LinkId l : path) {
+        ASSERT_FALSE(g.link_failed(l)) << name << ": path uses failed link";
+        ASSERT_EQ(g.link(l).src, cur) << name << ": disconnected path";
+        cur = g.link(l).dst;
+      }
+      ASSERT_EQ(cur, t->endpoint_node(dst)) << name;
+      const auto ref = reference_bfs_to(g, t->endpoint_node(dst));
+      ASSERT_EQ(static_cast<int>(path.size()), ref[t->endpoint_node(src)])
+          << name << ": degraded sample_path not minimal " << src << "->"
+          << dst;
+    }
+  }
+}
+
+// Reachability loss must surface as the typed DisconnectedError — never
+// as silent -1 distances in a served field.
+TEST(RoutingOracle, DegradedUnreachableEndpointThrowsTypedError) {
+  HammingMesh hx({.a = 2, .b = 2, .x = 2, .y = 2});
+  const NodeId victim = hx.endpoint_node(3);
+  std::vector<LinkId> cut(hx.graph().out_links(victim).begin(),
+                          hx.graph().out_links(victim).end());
+  hx.fail_links(cut);
+  EXPECT_THROW((void)hx.dist_field(hx.endpoint_node(0)), DisconnectedError);
+  EXPECT_THROW((void)hx.dist_field(hx.endpoint_node(3)), DisconnectedError);
+}
+
 }  // namespace
 }  // namespace hxmesh::topo
