@@ -1,12 +1,19 @@
 #include "cli/cli.hpp"
 
+#include <signal.h>
+
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "core/chaos.hpp"
 #include "core/fsio.hpp"
+#include "core/hash.hpp"
 #include "core/parse_num.hpp"
 #include "core/json.hpp"
 #include "core/json_parse.hpp"
@@ -30,24 +37,43 @@ subcommands:
          run one grid cell; prints its JSON row
   sweep  (--topo SPEC)+ (--pattern SPEC)+ [(--engine NAME)+] [(--seed N)+]
          [--label L]* [--config FILE.json] [--json PATH]
-         [--shards N [--workers K] [--retries R] [--progress]]
+         [--shards N | --micro-shards M] [--workers K] [--retries R]
+         [--shard-timeout SEC] [--retry-backoff SEC] [--progress]
          run the full topology x engine x pattern x seed grid
          (no --seed: each pattern's own seed= applies, default 1).
          With --shards: partition the grid into N contiguous shards,
          fork/exec one 'hxmesh shard' worker per shard over K process
-         slots (retrying failed shards R extra times), then merge through
+         slots (retrying failed shards R extra times with seeded
+         exponential backoff; a shard exiting 2 is a permanent config
+         error and fails the sweep immediately), then merge through
          the shared result cache into the byte-identical single-process
-         row order. --progress reports each shard attempt as it
-         completes (stderr)
+         row order. --micro-shards instead over-decomposes the grid
+         into M cost-balanced blocks (engine-aware weights) dispatched
+         heaviest-first by the same worker queue, so slow packet cells
+         do not serialize the tail. --shard-timeout arms a watchdog:
+         a shard past its deadline gets SIGTERM, then SIGKILL after a
+         grace period, and reports 'timed-out'. --progress reports each
+         shard attempt as it completes (stderr)
   shard  --shards N --shard I [grid flags as for sweep] [--manifest PATH]
+         [--weighted] [--attempt A]
          run one shard of the grid: simulate its cells, store them as
          result-cache entries, and write a coverage manifest
+         (--weighted: take the cost-balanced block; honors the
+         HXMESH_CHAOS fault-injection spec, see below)
   ls     [engines|topologies|patterns]
          list registered engines, topology families, pattern grammar
   cache  stats|clear|prune [--cache-dir DIR]
          inspect, empty, or age/LRU-evict the result cache
          (prune: --max-age AGE[s|m|h|d] and/or --max-entries N;
-         stats also reports this process's routing-oracle counters)
+         stats also reports quarantined-entry counts and this
+         process's routing-oracle counters)
+
+environment:
+  HXMESH_CHAOS      deterministic fault injection for 'hxmesh shard'
+                    workers: kill:<p>[:seed=S][,hang:<p>] self-SIGKILLs
+                    or hangs each (shard, attempt) with the given
+                    probabilities — a pure function of the spec, so a
+                    fixed seed replays the same fault schedule
 
 common options:
   --json PATH       write rows as a JSON array to PATH ('-' = stdout)
@@ -113,6 +139,16 @@ std::int64_t parse_age(const std::string& flag, const std::string& token) {
   return static_cast<std::int64_t>(*v) * scale;
 }
 
+/// Non-negative seconds value (fractions allowed: "0.25").
+double parse_seconds(const std::string& flag, const std::string& token) {
+  char* end = nullptr;
+  const double v = token.empty() ? -1.0 : std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size() ||
+      !(v >= 0.0 && v <= 1e9))
+    usage_error(flag + ": bad duration '" + token + "' (seconds, >= 0)");
+  return v;
+}
+
 struct SweepOptions {
   engine::SweepConfig config;       // axes accumulated from flags
   std::vector<std::string> labels;  // labels accumulated from flags
@@ -128,6 +164,11 @@ struct SweepOptions {
   unsigned retries = 1;       // extra attempts per failed shard
   bool progress = false;      // per-shard completion reporting (stderr)
   std::string manifest_path;  // shard subcommand output (default derived)
+  unsigned micro_shards = 0;     // sweep: cost-balanced over-decomposition
+  double shard_timeout_s = 0;    // sweep: per-shard watchdog (0 = off)
+  double retry_backoff_s = 0.25; // sweep: base retry delay
+  bool weighted = false;         // shard: take the cost-balanced block
+  int attempt = 0;               // shard: attempt number (0 = unset -> 1)
 };
 
 // Reads one string-array member of a config object into `out` (appending).
@@ -290,8 +331,29 @@ void report_cache(const engine::ResultCache& cache, std::ostream& err) {
       total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / total;
   err << "cache: " << hits << " hits, " << misses << " misses (" << fmt(pct, 1)
       << "% hit rate) in " << cache.dir() << "\n";
+  err << "integrity: " << cache.verified_hits() << " verified hits, "
+      << cache.quarantined() << " quarantined (this process)\n";
   report_routing(err);
   report_batching(err);
+}
+
+/// Last non-empty line of a text block, trimmed — where a crashing
+/// child's "hxmesh: <what>" message lands.
+std::string last_line(const std::string& text) {
+  const std::size_t end = text.find_last_not_of(" \t\r\n");
+  if (end == std::string::npos) return "";
+  std::size_t start = text.find_last_of('\n', end);
+  start = start == std::string::npos ? 0 : start + 1;
+  return text.substr(start, end - start + 1);
+}
+
+/// Short status word for one shard attempt: "ok", "failed (exit N)", or
+/// the outcome name ("timed-out", "signaled", "spawn-failed", "skipped").
+std::string describe_run(const engine::ShardRun& run) {
+  if (run.ok()) return "ok";
+  if (run.outcome == engine::ShardOutcome::kExited)
+    return "failed (exit " + std::to_string(run.exit_code) + ")";
+  return engine::outcome_name(run.outcome);
 }
 
 std::string shard_meta_dir(const std::string& cache_dir) {
@@ -342,23 +404,96 @@ int do_sweep_sharded(const SweepOptions& opt,
       opt.threads > 0 ? opt.threads
                       : static_cast<int>(std::max(1u, hardware / workers));
 
+  // Weighted mode dispatches the heaviest micro-shards first: with a
+  // dynamic queue, the worst tail is one heavy block starting last, and
+  // sorting by estimated cost removes exactly that case. The order is a
+  // scheduling hint only — coverage and row order never depend on it.
+  std::vector<std::uint64_t> shard_costs(opt.shards, 0);
+  for (unsigned i = 0; i < opt.shards; ++i) {
+    const auto [lo, hi] = opt.weighted
+                              ? plan.weighted_shard_cells(i, opt.shards)
+                              : plan.shard_cells(i, opt.shards);
+    for (std::size_t c = lo; c < hi; ++c) shard_costs[i] += plan.cell_cost(c);
+  }
+  std::vector<unsigned> order;
+  if (opt.weighted) {
+    order.resize(opt.shards);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+      return shard_costs[a] > shard_costs[b];
+    });
+    // Tail-latency evidence: estimated makespan of this schedule vs the
+    // static contiguous split into one shard per worker.
+    std::uint64_t static_makespan = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+      const auto [lo, hi] = plan.shard_cells(w, workers);
+      std::uint64_t cost = 0;
+      for (std::size_t c = lo; c < hi; ++c) cost += plan.cell_cost(c);
+      static_makespan = std::max(static_makespan, cost);
+    }
+    std::vector<std::uint64_t> ordered_costs;
+    ordered_costs.reserve(opt.shards);
+    for (unsigned i : order) ordered_costs.push_back(shard_costs[i]);
+    const std::uint64_t micro_makespan =
+        engine::estimate_makespan(ordered_costs, workers);
+    err << "sched: " << plan.total_cells() << " cells as " << opt.shards
+        << " weighted micro-shards over " << workers
+        << " worker(s); est. makespan " << micro_makespan
+        << " cost units (static " << workers << "-shard split: "
+        << static_makespan << ")\n";
+  }
+
   const std::string exe = self_exe_path();
-  auto launch = [&](unsigned shard) {
-    const std::vector<std::string> argv = {exe,
-                                           "shard",
-                                           "--config",
-                                           grid_file,
-                                           "--shards",
-                                           std::to_string(opt.shards),
-                                           "--shard",
-                                           std::to_string(shard),
-                                           "--manifest",
-                                           manifest_paths[shard],
-                                           "--cache-dir",
-                                           opt.cache_dir,
-                                           "--threads",
-                                           std::to_string(child_threads)};
-    return run_command(argv);
+  auto launch = [&](unsigned shard, int attempt) {
+    std::vector<std::string> argv = {exe,
+                                     "shard",
+                                     "--config",
+                                     grid_file,
+                                     "--shards",
+                                     std::to_string(opt.shards),
+                                     "--shard",
+                                     std::to_string(shard),
+                                     "--manifest",
+                                     manifest_paths[shard],
+                                     "--cache-dir",
+                                     opt.cache_dir,
+                                     "--threads",
+                                     std::to_string(child_threads),
+                                     "--attempt",
+                                     std::to_string(attempt)};
+    if (opt.weighted) argv.push_back("--weighted");
+    CommandOptions options;
+    options.timeout_s = opt.shard_timeout_s;
+    options.capture_stderr = true;
+    const CommandResult r = run_command_watched(argv, options);
+
+    engine::ShardAttempt a;
+    switch (r.status) {
+      case CommandStatus::kExited:
+        a.outcome = engine::ShardOutcome::kExited;
+        a.exit_code = r.exit_code;
+        break;
+      case CommandStatus::kSignaled:
+        a.outcome = engine::ShardOutcome::kSignaled;
+        a.exit_code = r.shell_code();
+        break;
+      case CommandStatus::kTimedOut:
+        a.outcome = engine::ShardOutcome::kTimedOut;
+        a.exit_code = r.shell_code();
+        break;
+      case CommandStatus::kSpawnFailed:
+        a.outcome = engine::ShardOutcome::kSpawnFailed;
+        a.exit_code = -1;
+        break;
+    }
+    if (!a.ok()) {
+      // The child's last stderr line is usually "hxmesh: <what>" — the
+      // message that used to vanish into a bare exit code.
+      a.error = r.error;
+      const std::string tail = last_line(r.stderr_tail);
+      if (!tail.empty()) a.error += a.error.empty() ? tail : " — " + tail;
+    }
+    return a;
   };
 
   engine::ShardProgress progress;
@@ -367,24 +502,38 @@ int do_sweep_sharded(const SweepOptions& opt,
     progress = [&err, &progress_mutex](const engine::ShardRun& run,
                                        unsigned completed, unsigned total) {
       std::lock_guard lock(progress_mutex);
-      err << "progress: shard " << run.shard << " "
-          << (run.exit_code == 0 ? "ok" : "failed") << " (attempt "
-          << run.attempts << ") — " << completed << "/" << total
-          << " shards done\n";
+      err << "progress: shard " << run.shard << " " << describe_run(run)
+          << " (attempt " << run.attempts << ") — " << completed << "/"
+          << total << " shards done\n";
       err.flush();
     };
 
-  const auto runs = engine::run_shard_jobs(opt.shards, workers,
-                                           1 + opt.retries, launch, progress);
+  engine::RetryPolicy policy;
+  policy.max_attempts = 1 + opt.retries;
+  policy.backoff_base_s = opt.retry_backoff_s;
+  // Jitter seeded from the grid identity: reruns of the same sweep replay
+  // the same backoff schedule.
+  policy.seed = Fnv1a().update(fingerprint).digest();
+
+  const auto runs = engine::run_shard_jobs(opt.shards, workers, policy,
+                                           launch, progress, order);
   unsigned failed = 0;
   for (const engine::ShardRun& run : runs) {
-    if (run.exit_code == 0 && run.attempts > 1)
+    if (run.ok() && run.attempts > 1)
       err << "shard " << run.shard << ": succeeded on attempt "
           << run.attempts << "\n";
-    if (run.exit_code != 0) {
+    if (!run.ok()) {
       ++failed;
-      err << "shard " << run.shard << ": failed with exit code "
-          << run.exit_code << " after " << run.attempts << " attempt(s)\n";
+      err << "shard " << run.shard << ": ";
+      if (run.outcome == engine::ShardOutcome::kExited) {
+        err << "failed with exit code " << run.exit_code;
+        if (run.exit_code == 2) err << " (permanent config error, not retried)";
+      } else {
+        err << engine::outcome_name(run.outcome);
+      }
+      err << " after " << run.attempts << " attempt(s)";
+      if (!run.error.empty()) err << ": " << run.error;
+      err << "\n";
     }
   }
   if (failed > 0)
@@ -425,6 +574,21 @@ int do_sweep_sharded(const SweepOptions& opt,
 }
 
 int do_sweep(SweepOptions opt, std::ostream& out, std::ostream& err) {
+  if (opt.weighted)
+    usage_error("sweep: --weighted applies to the shard subcommand");
+  if (opt.attempt != 0)
+    usage_error("sweep: --attempt applies to the shard subcommand");
+  if (opt.micro_shards > 0) {
+    if (opt.shards > 0)
+      usage_error("sweep: --micro-shards replaces --shards (pick one)");
+    // Over-decomposition: many cost-balanced blocks over few workers,
+    // scheduled dynamically. The plan partition is the weighted one, so
+    // the shard children must take their ranges from it too.
+    opt.shards = opt.micro_shards;
+    opt.weighted = true;
+  }
+  if (opt.shards == 0 && opt.shard_timeout_s > 0)
+    usage_error("sweep: --shard-timeout needs --shards or --micro-shards");
   const auto grids = final_grids(opt);
   if (opt.shards > 0) return do_sweep_sharded(opt, grids, out, err);
 
@@ -449,6 +613,29 @@ int do_shard(SweepOptions opt, std::ostream& out, std::ostream& err) {
                 "(drop --no-cache)");
   if (opt.progress)
     usage_error("shard: --progress applies to the sweep orchestrator");
+  if (opt.micro_shards > 0 || opt.shard_timeout_s > 0)
+    usage_error("shard: --micro-shards/--shard-timeout apply to the sweep "
+                "orchestrator");
+  const int attempt = opt.attempt > 0 ? opt.attempt : 1;
+
+  // Deterministic fault injection: a malformed spec is a config error
+  // (exit 2 via invalid_argument — permanent, never retried); a kill or
+  // hang decision executes before any work so the orchestrator's retry
+  // and watchdog paths see a worker that genuinely died or genuinely
+  // hangs, not a simulated flag.
+  if (const char* env = std::getenv("HXMESH_CHAOS"); env && *env) {
+    const ChaosSpec chaos = parse_chaos(env);
+    const ChaosAction action = chaos_action(
+        chaos, static_cast<unsigned>(opt.shard_index), attempt);
+    if (action != ChaosAction::kNone) {
+      err << "chaos: shard " << opt.shard_index << " attempt " << attempt
+          << ": " << chaos_action_name(action) << "\n";
+      err.flush();
+    }
+    if (action == ChaosAction::kKill) ::raise(SIGKILL);
+    if (action == ChaosAction::kHang)
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  }
 
   const auto grids = final_grids(opt);
   const engine::GridPlan plan(grids);
@@ -456,7 +643,7 @@ int do_shard(SweepOptions opt, std::ostream& out, std::ostream& err) {
   engine::ResultCache cache(opt.cache_dir);
   const engine::ShardManifest manifest = engine::run_shard(
       harness, plan, static_cast<unsigned>(opt.shard_index), opt.shards,
-      cache);
+      cache, opt.weighted);
 
   std::string path = opt.manifest_path;
   if (path.empty())
@@ -473,7 +660,8 @@ int do_shard(SweepOptions opt, std::ostream& out, std::ostream& err) {
 // `run` is a one-cell sweep sharing the whole cached pipeline; the only
 // difference is output shape (one object, not an array).
 int do_run(SweepOptions opt, std::ostream& out, std::ostream& err) {
-  if (opt.shards != 0 || opt.shard_index >= 0)
+  if (opt.shards != 0 || opt.shard_index >= 0 || opt.micro_shards != 0 ||
+      opt.shard_timeout_s > 0 || opt.weighted || opt.attempt != 0)
     usage_error("run: sharding flags apply to sweep and shard only");
   if (opt.progress)
     usage_error("run: --progress applies to the sweep orchestrator");
@@ -551,6 +739,18 @@ SweepOptions parse_grid_flags(const std::vector<std::string>& args,
       opt.progress = true;
     else if (flag == "--manifest")
       opt.manifest_path = need_value(args, i);
+    else if (flag == "--micro-shards")
+      opt.micro_shards = static_cast<unsigned>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
+    else if (flag == "--shard-timeout")
+      opt.shard_timeout_s = parse_seconds(flag, need_value(args, i));
+    else if (flag == "--retry-backoff")
+      opt.retry_backoff_s = parse_seconds(flag, need_value(args, i));
+    else if (flag == "--weighted")
+      opt.weighted = true;
+    else if (flag == "--attempt")
+      opt.attempt = static_cast<int>(
+          parse_bounded(flag, need_value(args, i), 1 << 20));
     else
       usage_error("unknown flag '" + flag + "'");
   }
@@ -609,7 +809,8 @@ int do_cache(const std::vector<std::string>& args, std::size_t start,
     const auto stats = cache.stats();
     out << "dir: " << cache.dir() << "\n"
         << "entries: " << stats.entries << "\n"
-        << "bytes: " << stats.bytes << "\n";
+        << "bytes: " << stats.bytes << "\n"
+        << "quarantined: " << stats.quarantined << "\n";
     report_routing(out);
     report_batching(out);
     const topo::RoutingCounters c = topo::routing_counters();

@@ -96,6 +96,14 @@ bool remove_file(const std::string& path) {
   return fs::remove(path, ec) && !ec;
 }
 
+bool rename_file(const std::string& from, const std::string& to) {
+  const fs::path target(to);
+  std::error_code ec;
+  if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+  fs::rename(from, target, ec);
+  return !ec;
+}
+
 std::uint64_t remove_tree(const std::string& path) {
   std::error_code ec;
   const auto removed = fs::remove_all(path, ec);

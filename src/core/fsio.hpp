@@ -49,6 +49,11 @@ void touch_file(const std::string& path);
 /// Removes one file if present; returns whether something was removed.
 bool remove_file(const std::string& path);
 
+/// Moves a file, creating the destination's parent directories as needed;
+/// returns whether the rename succeeded. The result cache uses this to
+/// quarantine corrupt entries instead of deleting the evidence.
+bool rename_file(const std::string& from, const std::string& to);
+
 /// Removes a directory tree if present (rm -rf); returns the number of
 /// files and directories removed (0 when missing).
 std::uint64_t remove_tree(const std::string& path);

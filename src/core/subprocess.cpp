@@ -1,21 +1,109 @@
 #include "core/subprocess.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <spawn.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 extern char** environ;
 
 namespace hxmesh {
 
-int run_command(const std::vector<std::string>& argv) {
-  if (argv.empty())
-    throw std::runtime_error("run_command: empty argv");
+namespace {
+
+constexpr std::chrono::milliseconds kPollNap{5};
+
+// Appends `data` to `tail`, keeping only the last `limit` bytes. The tail
+// is where crash messages land, so dropping the front is the right bound.
+void append_tail(std::string& tail, const char* data, std::size_t n,
+                 std::size_t limit) {
+  tail.append(data, n);
+  if (tail.size() > limit) tail.erase(0, tail.size() - limit);
+}
+
+// Drains whatever is currently readable from a nonblocking fd into `tail`.
+// Returns false once the writer side is closed and the pipe is empty.
+bool drain_pipe(int fd, std::string& tail, std::size_t limit) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      append_tail(tail, buf, static_cast<std::size_t>(n), limit);
+      continue;
+    }
+    if (n == 0) return false;  // EOF: every writer closed
+    if (errno == EINTR) continue;
+    return true;  // EAGAIN: nothing right now, writer still alive
+  }
+}
+
+// waitpid(WNOHANG) with EINTR retry. Returns true when the child was
+// reaped (status filled in), false when it is still running.
+bool try_reap(pid_t pid, int& status) {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return true;
+    if (r == 0) return false;
+    if (errno != EINTR)
+      throw std::runtime_error(std::string("run_command: waitpid failed: ") +
+                               std::strerror(errno));
+  }
+}
+
+void reap_blocking(pid_t pid, int& status) {
+  for (;;) {
+    if (::waitpid(pid, &status, 0) >= 0) return;
+    if (errno != EINTR)
+      throw std::runtime_error(std::string("run_command: waitpid failed: ") +
+                               std::strerror(errno));
+  }
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", s);
+  return buf;
+}
+
+}  // namespace
+
+const char* command_status_name(CommandStatus status) {
+  switch (status) {
+    case CommandStatus::kExited: return "exited";
+    case CommandStatus::kSignaled: return "signaled";
+    case CommandStatus::kTimedOut: return "timed-out";
+    case CommandStatus::kSpawnFailed: return "spawn-failed";
+  }
+  return "unknown";
+}
+
+int CommandResult::shell_code() const {
+  switch (status) {
+    case CommandStatus::kExited: return exit_code;
+    case CommandStatus::kSignaled: return 128 + term_signal;
+    case CommandStatus::kTimedOut: return 128 + SIGKILL;
+    case CommandStatus::kSpawnFailed: return -1;
+  }
+  return -1;
+}
+
+CommandResult run_command_watched(const std::vector<std::string>& argv,
+                                  const CommandOptions& options) {
+  CommandResult result;
+  if (argv.empty()) {
+    result.error = "run_command: empty argv";
+    return result;
+  }
 
   // posix_spawn (not fork+exec): safe to call with harness worker threads
   // alive, and it reports spawn failures as error codes instead of a child
@@ -26,23 +114,113 @@ int run_command(const std::vector<std::string>& argv) {
     cargv.push_back(const_cast<char*>(arg.c_str()));
   cargv.push_back(nullptr);
 
+  int pipe_fds[2] = {-1, -1};
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_t* actions_ptr = nullptr;
+  if (options.capture_stderr) {
+    if (::pipe(pipe_fds) != 0) {
+      result.error = std::string("run_command: pipe failed: ") +
+                     std::strerror(errno);
+      return result;
+    }
+    ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+    posix_spawn_file_actions_init(&actions);
+    posix_spawn_file_actions_adddup2(&actions, pipe_fds[1], 2);
+    posix_spawn_file_actions_addclose(&actions, pipe_fds[0]);
+    posix_spawn_file_actions_addclose(&actions, pipe_fds[1]);
+    actions_ptr = &actions;
+  }
+
   pid_t pid = -1;
   const int rc =
-      ::posix_spawn(&pid, cargv[0], nullptr, nullptr, cargv.data(), environ);
-  if (rc != 0)
-    throw std::runtime_error("run_command: cannot spawn " + argv[0] + ": " +
-                             std::strerror(rc));
-
-  int status = 0;
-  for (;;) {
-    if (::waitpid(pid, &status, 0) >= 0) break;
-    if (errno != EINTR)
-      throw std::runtime_error("run_command: waitpid failed for " + argv[0] +
-                               ": " + std::strerror(errno));
+      ::posix_spawn(&pid, cargv[0], actions_ptr, nullptr, cargv.data(),
+                    environ);
+  if (actions_ptr) posix_spawn_file_actions_destroy(actions_ptr);
+  if (options.capture_stderr) ::close(pipe_fds[1]);  // parent keeps read end
+  if (rc != 0) {
+    if (options.capture_stderr) ::close(pipe_fds[0]);
+    result.error = "run_command: cannot spawn " + argv[0] + ": " +
+                   std::strerror(rc);
+    return result;  // status stays kSpawnFailed
   }
-  if (WIFEXITED(status)) return WEXITSTATUS(status);
-  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
-  return -1;
+
+  const bool watched = options.timeout_s > 0.0;
+  int status = 0;
+  bool timed_out = false;
+  bool killed = false;  // escalated to SIGKILL
+
+  if (!watched && !options.capture_stderr) {
+    // Classic blocking path: nothing to poll for.
+    reap_blocking(pid, status);
+  } else {
+    // Poll loop: reap without blocking so the deadline can fire and the
+    // stderr pipe stays drained (a blocking wait on a child whose stderr
+    // pipe is full would deadlock).
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(options.timeout_s));
+    auto kill_at = clock::time_point::max();
+    bool pipe_open = options.capture_stderr;
+    for (;;) {
+      if (try_reap(pid, status)) break;
+      if (pipe_open)
+        pipe_open = drain_pipe(pipe_fds[0], result.stderr_tail,
+                               options.stderr_limit);
+      const auto now = clock::now();
+      if (watched && !timed_out && now >= deadline) {
+        timed_out = true;
+        ::kill(pid, SIGTERM);
+        kill_at = now + std::chrono::duration_cast<clock::duration>(
+                            std::chrono::duration<double>(
+                                std::max(0.0, options.grace_s)));
+      }
+      if (timed_out && !killed && now >= kill_at) {
+        killed = true;
+        ::kill(pid, SIGKILL);
+        // SIGKILL cannot be caught or blocked; the child is guaranteed to
+        // die, so the loop keeps polling until the reap lands.
+      }
+      std::this_thread::sleep_for(kPollNap);
+    }
+  }
+  if (options.capture_stderr) {
+    // Final drain: the child is reaped, so EOF (or emptiness) is terminal.
+    drain_pipe(pipe_fds[0], result.stderr_tail, options.stderr_limit);
+    ::close(pipe_fds[0]);
+  }
+
+  if (timed_out) {
+    result.status = CommandStatus::kTimedOut;
+    result.error = "timed out after " + fmt_seconds(options.timeout_s) +
+                   "s (" + (killed ? "SIGTERM, then SIGKILL" : "SIGTERM") +
+                   ")";
+    return result;
+  }
+  if (WIFEXITED(status)) {
+    result.status = CommandStatus::kExited;
+    result.exit_code = WEXITSTATUS(status);
+    if (result.exit_code != 0)
+      result.error = "exit code " + std::to_string(result.exit_code);
+    return result;
+  }
+  if (WIFSIGNALED(status)) {
+    result.status = CommandStatus::kSignaled;
+    result.term_signal = WTERMSIG(status);
+    result.error = "killed by signal " + std::to_string(result.term_signal);
+    return result;
+  }
+  result.status = CommandStatus::kSpawnFailed;
+  result.error = "run_command: unrecognized wait status";
+  return result;
+}
+
+int run_command(const std::vector<std::string>& argv) {
+  const CommandResult result = run_command_watched(argv);
+  if (result.status == CommandStatus::kSpawnFailed)
+    throw std::runtime_error(result.error);
+  return result.shell_code();
 }
 
 std::string self_exe_path() {

@@ -1,28 +1,87 @@
 // Child-process helpers for the sharded sweep orchestrator.
 //
 // The orchestrator fork/execs one `hxmesh shard` worker per shard; all it
-// needs from the OS is "run this argv to completion and give me the exit
-// code" plus a way to find its own binary to re-invoke. Both live here so
-// the CLI stays free of platform ifdefs and the engine layer stays free of
-// process management.
+// needs from the OS is "run this argv to completion — or kill it past a
+// deadline — and tell me how it ended" plus a way to find its own binary
+// to re-invoke. Both live here so the CLI stays free of platform ifdefs
+// and the engine layer stays free of process management.
 #pragma once
 
 /// \file
-/// \brief Child-process helpers: run an argv to completion and resolve
-/// the running executable's own path.
+/// \brief Child-process helpers: run an argv to completion (optionally
+/// under a watchdog deadline with SIGTERM→SIGKILL escalation and stderr
+/// capture) and resolve the running executable's own path.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 namespace hxmesh {
 
+/// \brief How a watched child process ended.
+enum class CommandStatus {
+  kExited,       ///< child called exit(); see CommandResult::exit_code
+  kSignaled,     ///< child was killed by a signal it did not ask for
+  kTimedOut,     ///< the watchdog deadline fired (SIGTERM, then SIGKILL)
+  kSpawnFailed,  ///< the child never started; see CommandResult::error
+};
+
+/// \brief Stable lowercase name of a CommandStatus ("exited", "signaled",
+/// "timed-out", "spawn-failed") — used verbatim in retry reports and logs.
+const char* command_status_name(CommandStatus status);
+
+/// \brief Knobs for run_command_watched.
+struct CommandOptions {
+  /// Wall-clock deadline in seconds; 0 (the default) disables the
+  /// watchdog and the call waits forever, like classic run_command.
+  double timeout_s = 0.0;
+  /// After the deadline's SIGTERM, how long to wait for a graceful exit
+  /// before escalating to SIGKILL. The escalation is unconditional: a
+  /// child that ignores or blocks SIGTERM is still reaped.
+  double grace_s = 1.0;
+  /// Redirect the child's stderr into a pipe and keep its tail (up to
+  /// stderr_limit bytes) in CommandResult::stderr_tail. Off by default:
+  /// the child inherits the parent's stderr.
+  bool capture_stderr = false;
+  /// Bytes of child stderr to retain (the tail — the end of the stream
+  /// is where crash messages land).
+  std::size_t stderr_limit = 4096;
+};
+
+/// \brief Outcome of one watched child process.
+struct CommandResult {
+  CommandStatus status = CommandStatus::kSpawnFailed;
+  int exit_code = -1;       ///< valid when status == kExited
+  int term_signal = 0;      ///< valid when status == kSignaled
+  std::string error;        ///< human-readable failure description ("" = none)
+  std::string stderr_tail;  ///< tail of child stderr when captured
+
+  bool ok() const { return status == CommandStatus::kExited && exit_code == 0; }
+
+  /// Shell-convention code for legacy callers: the exit code, 128+signal
+  /// for kSignaled, 128+SIGKILL for kTimedOut, -1 for kSpawnFailed.
+  int shell_code() const;
+};
+
+/// \brief Runs `argv` as a child process under an optional watchdog.
+///
+/// `argv[0]` is the executable path (no PATH search); the child inherits
+/// stdio (stderr optionally captured) and the environment. With a nonzero
+/// `options.timeout_s` the parent polls the child and, past the deadline,
+/// sends SIGTERM, waits `options.grace_s`, then SIGKILLs — a hung child
+/// can never block the caller for longer than timeout + grace (plus reap
+/// latency). Never throws on child failure: every outcome, including a
+/// spawn failure, is reported through CommandResult. Safe to call from
+/// multiple threads at once — each call watches its own child.
+CommandResult run_command_watched(const std::vector<std::string>& argv,
+                                  const CommandOptions& options = {});
+
 /// \brief Runs `argv` as a child process to completion, inheriting stdio
 /// and the environment.
 ///
-/// `argv[0]` is the executable path (no PATH search). Returns the child's
-/// exit code; a child killed by a signal reports 128 plus the signal
-/// number (the shell convention). Safe to call from multiple threads at
-/// once — each call waits on its own child.
+/// The legacy unwatched form: equivalent to run_command_watched with no
+/// timeout. Returns the child's exit code; a child killed by a signal
+/// reports 128 plus the signal number (the shell convention).
 /// \throws std::runtime_error when the process cannot be spawned.
 int run_command(const std::vector<std::string>& argv);
 

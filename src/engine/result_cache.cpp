@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,10 @@
 namespace hxmesh::engine {
 
 namespace {
+
+// The checksum field is always the last one; the digest covers every byte
+// before the marker.
+constexpr const char* kChecksumMarker = ",\"checksum\":\"";
 
 // %.17g: enough digits that parsing the decimal form reproduces the exact
 // double, which is what makes cached rows byte-identical on re-render.
@@ -45,8 +50,22 @@ std::string render_result(const RunResult& result) {
   out += ",\"fraction_of_peak\":" + render_double(result.fraction_of_peak);
   out += std::string(",\"numerics_ok\":") +
          (result.numerics_ok ? "true" : "false");
-  out += "}\n";
+  // Content checksum over everything rendered so far. Verification
+  // catches what JSON parsing cannot: a flipped digit in a rate is still
+  // valid JSON, but it is not the result that was stored.
+  out += std::string(kChecksumMarker) + Fnv1a().update(out).hex() + "\"}\n";
   return out;
+}
+
+// True when `text` ends in a checksum field whose digest matches the
+// bytes before it.
+bool checksum_valid(const std::string& text) {
+  const std::size_t pos = text.rfind(kChecksumMarker);
+  if (pos == std::string::npos) return false;
+  const std::size_t digest_at = pos + std::string_view(kChecksumMarker).size();
+  if (digest_at + 16 > text.size()) return false;
+  return text.compare(digest_at, 16,
+                      Fnv1a().update(text.substr(0, pos)).hex()) == 0;
 }
 
 // Throws (std::invalid_argument from the parser / field checks) on any
@@ -125,22 +144,46 @@ std::string ResultCache::cell_key(const std::string& topology_spec,
 
 std::optional<RunResult> ResultCache::load(const std::string& key) {
   const std::optional<std::string> text = read_file(entry_path(key));
-  if (text) {
+  if (!text) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  if (checksum_valid(*text)) {
     try {
       RunResult result = parse_result(*text);
       hits_.fetch_add(1);
+      verified_hits_.fetch_add(1);
       // Mark the entry as recently used so prune()'s max-entries bound
       // evicts in LRU order. Best effort: a read-only store still hits.
       touch_file(entry_path(key));
       return result;
     } catch (const std::exception&) {
-      // Corrupt entry — including out_of_range from oversized integer
-      // tokens, not just the parser's invalid_argument: fall through to a
-      // miss; store() will overwrite it.
+      // Internally consistent (the checksum matched) but not parseable as
+      // this schema — an entry from a different version. Stale, not
+      // corrupt: a plain miss; store() overwrites it.
     }
+  } else {
+    // No or wrong checksum. An intact entry of an older schema (they
+    // predate checksums) is stale, not corrupt; everything else —
+    // truncation, bit flips, torn writes — is evidence worth keeping.
+    bool stale_version = false;
+    try {
+      const JsonValue doc = parse_json(*text);
+      const JsonValue* schema = doc.is_object() ? doc.get("schema") : nullptr;
+      stale_version = schema && schema->is_number() &&
+                      schema->as_int() != kSchemaVersion;
+    } catch (const std::exception&) {
+      // Unparsable: corrupt.
+    }
+    if (!stale_version) quarantine_entry(key);
   }
   misses_.fetch_add(1);
   return std::nullopt;
+}
+
+void ResultCache::quarantine_entry(const std::string& key) {
+  if (rename_file(entry_path(key), quarantine_dir() + "/" + key + ".json"))
+    quarantined_.fetch_add(1);
 }
 
 void ResultCache::store(const std::string& key, const RunResult& result) const {
@@ -155,6 +198,7 @@ ResultCache::Stats ResultCache::stats() const {
     ++stats.entries;
     stats.bytes += file_size(path);
   }
+  stats.quarantined = list_files(quarantine_dir()).size();
   return stats;
 }
 
@@ -166,6 +210,7 @@ std::size_t ResultCache::clear() const {
     if (remove_file(path)) ++removed;
   }
   remove_tree(shard_meta_dir());
+  remove_tree(quarantine_dir());
   return removed;
 }
 

@@ -34,7 +34,9 @@ class ResultCache {
   /// Bump when RunResult semantics or the entry format change.
   /// v2: FlowSolver path sampling switched to per-flow RNG substreams
   /// (PR 5), changing every flow-engine result.
-  static constexpr int kSchemaVersion = 2;
+  /// v3: entries carry an FNV-1a content checksum; load() verifies it and
+  /// quarantines corrupt blobs instead of silently recomputing over them.
+  static constexpr int kSchemaVersion = 3;
 
   static constexpr const char* kDefaultDir = ".hxmesh-cache";
 
@@ -42,6 +44,12 @@ class ResultCache {
   /// grid handoff files and per-shard coverage manifests). Lives inside
   /// the cache so clear()/prune() can reclaim it alongside the entries.
   static constexpr const char* kShardMetaSubdir = "shards";
+
+  /// Subdirectory of `dir()` where corrupt entries are moved. Corruption
+  /// is evidence of a storage or concurrency bug, so the blob is kept for
+  /// inspection (and counted) rather than deleted or overwritten in
+  /// place; the recompute heals the live entry as usual.
+  static constexpr const char* kQuarantineSubdir = "quarantine";
 
   explicit ResultCache(std::string dir = kDefaultDir) : dir_(std::move(dir)) {}
 
@@ -57,6 +65,11 @@ class ResultCache {
     return dir_ + "/" + kShardMetaSubdir;
   }
 
+  /// Where corrupt entries are moved for inspection.
+  std::string quarantine_dir() const {
+    return dir_ + "/" + kQuarantineSubdir;
+  }
+
   /// Hex content hash identifying one grid cell. The pattern is
   /// canonicalized via flow::pattern_spec with `seed` applied, so two
   /// TrafficSpecs that parse equal always share a key.
@@ -65,28 +78,39 @@ class ResultCache {
                               const flow::TrafficSpec& pattern,
                               std::uint64_t seed);
 
-  /// Cached result for `key`, or nullopt on miss. A corrupt or
-  /// schema-mismatched entry counts as a miss (the caller recomputes and
-  /// store() overwrites it). Updates the session hit/miss counters.
+  /// Cached result for `key`, or nullopt on miss. Every hit is
+  /// checksum-verified. A well-formed entry of a different schema version
+  /// is a plain miss (stale — store() overwrites it); an entry whose
+  /// checksum or structure is broken is *corrupt* and gets moved to
+  /// quarantine_dir() before the miss is reported, so the evidence
+  /// survives the recompute. Updates the session counters.
   std::optional<RunResult> load(const std::string& key);
 
-  /// Writes `result` under `key` (atomic; overwrites).
+  /// Writes `result` under `key` (atomic; overwrites), including the
+  /// entry's FNV-1a content checksum.
   void store(const std::string& key, const RunResult& result) const;
 
   // -- session counters (since construction) ------------------------------
   std::size_t hits() const { return hits_.load(); }
   std::size_t misses() const { return misses_.load(); }
+  /// Hits whose checksum was verified (every hit, since v3 — the counter
+  /// makes "verification actually ran" observable in stats output).
+  std::size_t verified_hits() const { return verified_hits_.load(); }
+  /// Corrupt entries moved to quarantine by this process.
+  std::size_t quarantined() const { return quarantined_.load(); }
 
   // -- maintenance (the CLI's `cache` subcommand) -------------------------
   struct Stats {
     std::size_t entries = 0;
     std::uint64_t bytes = 0;
+    std::size_t quarantined = 0;  ///< blobs sitting in quarantine_dir()
   };
   /// Counts entry files and their total size on disk.
   Stats stats() const;
 
-  /// Deletes all entries (and the sharded-sweep metadata under
-  /// shard_meta_dir()); returns how many entries were removed.
+  /// Deletes all entries (plus the sharded-sweep metadata under
+  /// shard_meta_dir() and the quarantined blobs under quarantine_dir());
+  /// returns how many entries were removed.
   std::size_t clear() const;
 
   struct PruneStats {
@@ -110,9 +134,14 @@ class ResultCache {
     return dir_ + "/" + key + ".json";
   }
 
+  /// Moves a corrupt entry into quarantine_dir() and counts it.
+  void quarantine_entry(const std::string& key);
+
   std::string dir_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> verified_hits_{0};
+  std::atomic<std::size_t> quarantined_{0};
 };
 
 }  // namespace hxmesh::engine

@@ -1,10 +1,14 @@
 #include "engine/shard.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
 #include <mutex>
+#include <queue>
 #include <stdexcept>
 #include <thread>
 
+#include "core/hash.hpp"
 #include "core/json_parse.hpp"
 
 namespace hxmesh::engine {
@@ -70,8 +74,10 @@ ShardManifest parse_manifest(const std::string& text) {
 }
 
 ShardManifest run_shard(ExperimentHarness& harness, const GridPlan& plan,
-                        unsigned shard, unsigned shards, ResultCache& cache) {
-  const auto [lo, hi] = plan.shard_cells(shard, shards);
+                        unsigned shard, unsigned shards, ResultCache& cache,
+                        bool weighted) {
+  const auto [lo, hi] = weighted ? plan.weighted_shard_cells(shard, shards)
+                                 : plan.shard_cells(shard, shards);
   const std::size_t hits_before = cache.hits();
   const std::size_t misses_before = cache.misses();
   harness.run_cells(plan, lo, hi, &cache);
@@ -97,43 +103,114 @@ std::string merge_error(const GridPlan& plan,
   if (manifests.size() != shards)
     return "expected " + std::to_string(shards) + " manifests, got " +
            std::to_string(manifests.size());
-  std::vector<char> seen(shards, 0);
+  std::vector<const ShardManifest*> by_index(shards, nullptr);
   for (const ShardManifest& m : manifests) {
     const std::string who = "shard " + std::to_string(m.shard);
     if (m.shards != shards) return who + ": inconsistent shard count";
     if (m.shard >= shards) return who + ": index out of range";
-    if (seen[m.shard]) return who + ": covered twice";
-    seen[m.shard] = 1;
+    if (by_index[m.shard]) return who + ": covered twice";
+    by_index[m.shard] = &m;
     if (m.fingerprint != plan.fingerprint())
       return who + ": grid fingerprint mismatch (manifest " + m.fingerprint +
              ", plan " + plan.fingerprint() + ")";
-    const auto [lo, hi] = plan.shard_cells(m.shard, shards);
-    if (m.cell_lo != lo || m.cell_hi != hi)
-      return who + ": unexpected cell range [" + std::to_string(m.cell_lo) +
-             ", " + std::to_string(m.cell_hi) + "), want [" +
-             std::to_string(lo) + ", " + std::to_string(hi) + ")";
-    for (std::size_t c = lo; c < hi; ++c)
-      if (m.keys[c - lo] != plan.cell_key(c))
-        return who + ": key mismatch at cell " + std::to_string(c);
   }
+  // Partition-agnostic coverage: ordered by shard index, the ranges must
+  // tile [0, total_cells()) exactly — the equal-count split, the
+  // cost-weighted split, and any future partition all pass, while a gap,
+  // an overlap, or a truncated shard cannot.
+  std::uint64_t expect_lo = 0;
+  for (unsigned i = 0; i < shards; ++i) {
+    const ShardManifest& m = *by_index[i];
+    if (m.cell_lo > m.cell_hi)
+      return "shard " + std::to_string(i) + ": inverted cell range";
+    if (m.cell_lo != expect_lo)
+      return "shard " + std::to_string(i) + ": cell range starts at " +
+             std::to_string(m.cell_lo) + ", want " +
+             std::to_string(expect_lo) + " (gap or overlap)";
+    expect_lo = m.cell_hi;
+  }
+  if (expect_lo != plan.total_cells())
+    return "coverage ends at cell " + std::to_string(expect_lo) + ", want " +
+           std::to_string(plan.total_cells());
+  // Only now are the ranges known to lie inside the plan, so the per-cell
+  // key comparison cannot index past the plan's cell space.
+  for (const ShardManifest& m : manifests)
+    for (std::size_t c = m.cell_lo; c < m.cell_hi; ++c)
+      if (m.keys[c - m.cell_lo] != plan.cell_key(c))
+        return "shard " + std::to_string(m.shard) + ": key mismatch at cell " +
+               std::to_string(c);
   return "";
 }
 
-std::vector<ShardRun> run_shard_jobs(
-    unsigned shards, unsigned workers, unsigned max_attempts,
-    const std::function<int(unsigned)>& launch,
-    const ShardProgress& progress) {
+const char* outcome_name(ShardOutcome outcome) {
+  switch (outcome) {
+    case ShardOutcome::kPending: return "pending";
+    case ShardOutcome::kExited: return "exited";
+    case ShardOutcome::kSignaled: return "signaled";
+    case ShardOutcome::kTimedOut: return "timed-out";
+    case ShardOutcome::kSpawnFailed: return "spawn-failed";
+    case ShardOutcome::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+double retry_backoff_s(const RetryPolicy& policy, unsigned shard,
+                       int attempt) {
+  if (policy.backoff_base_s <= 0.0 || attempt < 1) return 0.0;
+  double delay = policy.backoff_base_s;
+  for (int i = 1; i < attempt && delay < policy.backoff_max_s; ++i)
+    delay *= 2.0;
+  delay = std::min(delay, std::max(policy.backoff_max_s, 0.0));
+  // Multiplicative jitter in [0.5, 1.0], hashed — not drawn — so the
+  // same (seed, shard, attempt) always waits the same time.
+  Fnv1a hash;
+  hash.update(policy.seed)
+      .update(static_cast<std::uint64_t>(shard))
+      .update(attempt);
+  const double u = static_cast<double>(hash.digest() >> 11) * 0x1.0p-53;
+  return delay * (0.5 + 0.5 * u);
+}
+
+std::uint64_t estimate_makespan(const std::vector<std::uint64_t>& costs,
+                                unsigned workers) {
+  if (workers == 0) workers = 1;
+  // Earliest-free-slot list scheduling over a min-heap of finish times.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      slots;
+  for (unsigned w = 0; w < workers; ++w) slots.push(0);
+  std::uint64_t makespan = 0;
+  for (std::uint64_t cost : costs) {
+    const std::uint64_t finish = slots.top() + cost;
+    slots.pop();
+    slots.push(finish);
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+std::vector<ShardRun> run_shard_jobs(unsigned shards, unsigned workers,
+                                     const RetryPolicy& policy,
+                                     const ShardLauncher& launch,
+                                     const ShardProgress& progress,
+                                     const std::vector<unsigned>& order) {
   std::vector<ShardRun> runs(shards);
   for (unsigned i = 0; i < shards; ++i) runs[i].shard = i;
   if (shards == 0) return runs;
   if (workers == 0) workers = 1;
   if (workers > shards) workers = shards;
-  if (max_attempts == 0) max_attempts = 1;
+  const unsigned max_attempts = std::max(1u, policy.max_attempts);
+  if (!order.empty() && order.size() != shards)
+    throw std::invalid_argument("run_shard_jobs: order must list every shard");
 
   std::mutex mutex;
   std::deque<unsigned> queue;
   unsigned completed = 0;
-  for (unsigned i = 0; i < shards; ++i) queue.push_back(i);
+  bool aborted = false;  // a permanent (exit 2) failure poisons the run
+  if (order.empty())
+    for (unsigned i = 0; i < shards; ++i) queue.push_back(i);
+  else
+    for (unsigned i : order) queue.push_back(i);
 
   // A worker exits when it finds the queue empty. A shard re-enqueued by
   // a *different* still-running worker is always picked up by that worker's
@@ -142,30 +219,66 @@ std::vector<ShardRun> run_shard_jobs(
   auto worker = [&] {
     for (;;) {
       unsigned shard;
+      int attempt;
       {
         std::lock_guard lock(mutex);
+        // On abort, drain the queue: everything still waiting is marked
+        // skipped — retrying cannot fix the config error that poisoned
+        // the run, so burning attempts on it would only delay the report.
+        if (aborted) {
+          while (!queue.empty()) {
+            ShardRun& run = runs[queue.front()];
+            queue.pop_front();
+            run.outcome = ShardOutcome::kSkipped;
+            run.error = "skipped after a permanent shard failure";
+            ++completed;
+            if (progress) progress(run, completed, shards);
+          }
+          return;
+        }
         if (queue.empty()) return;
         shard = queue.front();
         queue.pop_front();
+        attempt = runs[shard].attempts + 1;
       }
-      int code = -1;
+      ShardAttempt result;
       try {
-        code = launch(shard);
-      } catch (const std::exception&) {
-        code = -1;
+        result = launch(shard, attempt);
+      } catch (const std::exception& e) {
+        result.outcome = ShardOutcome::kSpawnFailed;
+        result.exit_code = -1;
+        result.error = e.what();
       }
+      bool retrying;
       {
         std::lock_guard lock(mutex);
         ShardRun& run = runs[shard];
-        ++run.attempts;
-        run.exit_code = code;
-        const bool retrying =
-            code != 0 && static_cast<unsigned>(run.attempts) < max_attempts;
-        if (retrying) queue.push_back(shard);
-        if (!retrying) ++completed;  // success, or retries exhausted
+        run.attempts = attempt;
+        run.outcome = result.outcome;
+        run.exit_code = result.exit_code;
+        run.error = result.error;
+        // Exit code 2 is the CLI's usage/config contract: deterministic,
+        // so no retry can succeed — fail the whole run fast instead.
+        const bool permanent =
+            result.outcome == ShardOutcome::kExited && result.exit_code == 2;
+        if (permanent) aborted = true;
+        retrying = !result.ok() && !permanent && !aborted &&
+                   static_cast<unsigned>(attempt) < max_attempts;
+        if (!retrying) ++completed;  // success, exhausted, or permanent
         // Progress fires under the lock so observers see a serialized,
         // monotonically completing sequence.
         if (progress) progress(run, completed, shards);
+      }
+      if (retrying) {
+        // Seeded exponential backoff between attempts; sleeping outside
+        // the lock keeps the other workers scheduling. The shard re-joins
+        // the queue only after the delay, so a crashing dependency gets
+        // breathing room instead of a retry stampede.
+        const double delay_s = retry_backoff_s(policy, shard, attempt);
+        if (delay_s > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+        std::lock_guard lock(mutex);
+        queue.push_back(shard);
       }
     }
   };

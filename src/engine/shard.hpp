@@ -57,25 +57,83 @@ ShardManifest parse_manifest(const std::string& text);
 
 /// \brief Executes shard `shard` of `shards` of `plan`: runs the shard's
 /// cell block through `harness` with `cache` (storing every miss) and
-/// returns the manifest describing the coverage.
+/// returns the manifest describing the coverage. With `weighted`, the
+/// block comes from the cost-balanced partition
+/// (GridPlan::weighted_shard_cells) instead of the equal-count split —
+/// orchestrator and worker must agree on the flag.
 ShardManifest run_shard(ExperimentHarness& harness, const GridPlan& plan,
-                        unsigned shard, unsigned shards, ResultCache& cache);
+                        unsigned shard, unsigned shards, ResultCache& cache,
+                        bool weighted = false);
 
 /// \brief Checks that `manifests` together cover `plan` exactly.
 ///
 /// Verifies shard count consistency, the presence of every shard index
-/// exactly once, matching fingerprints, the expected cell ranges, and that
-/// each manifest's keys equal the plan's keys for its range. Returns an
-/// empty string when the merge is sound, else a human-readable reason.
+/// exactly once, matching fingerprints, that the manifests' cell ranges —
+/// ordered by shard index — form one exact contiguous cover of
+/// `[0, total_cells())`, and that each manifest's keys equal the plan's
+/// keys for its range. Any partition with those properties merges (equal
+///-count, cost-weighted, or anything else that covers every cell exactly
+/// once). Returns an empty string when the merge is sound, else a
+/// human-readable reason.
 std::string merge_error(const GridPlan& plan,
                         const std::vector<ShardManifest>& manifests);
+
+/// \brief How one shard (or one launch attempt) terminated.
+enum class ShardOutcome {
+  kPending,      ///< never launched (initial state)
+  kExited,       ///< ran to an exit code (0 = success)
+  kSignaled,     ///< killed by a signal (e.g. a chaos SIGKILL)
+  kTimedOut,     ///< the watchdog deadline reaped it
+  kSpawnFailed,  ///< the launcher threw or could not start a process
+  kSkipped,      ///< never (re)tried: the sweep aborted on a permanent error
+};
+
+/// \brief Stable lowercase name ("exited", "timed-out", ...) used
+/// verbatim in progress lines and retry reports.
+const char* outcome_name(ShardOutcome outcome);
+
+/// \brief Result of one launch attempt, as reported by the launcher.
+struct ShardAttempt {
+  ShardOutcome outcome = ShardOutcome::kSpawnFailed;
+  int exit_code = -1;  ///< meaningful when outcome == kExited
+  std::string error;   ///< human-readable failure text ("" on success)
+
+  bool ok() const { return outcome == ShardOutcome::kExited && exit_code == 0; }
+};
 
 /// \brief Outcome of driving one shard through the orchestrator.
 struct ShardRun {
   unsigned shard = 0;  ///< shard index
-  int attempts = 0;    ///< launch attempts consumed (>= 1)
-  int exit_code = -1;  ///< last launcher exit code (0 = success)
+  int attempts = 0;    ///< launch attempts consumed (>= 1 unless skipped)
+  int exit_code = -1;  ///< last attempt's exit code (0 = success)
+  ShardOutcome outcome = ShardOutcome::kPending;  ///< last attempt's class
+  std::string error;   ///< last attempt's error text ("" on success)
+
+  bool ok() const { return outcome == ShardOutcome::kExited && exit_code == 0; }
 };
+
+/// \brief Retry discipline of the orchestrator.
+struct RetryPolicy {
+  unsigned max_attempts = 1;    ///< total launches per shard (>= 1)
+  double backoff_base_s = 0.25; ///< first retry's mean delay; 0 = none
+  double backoff_max_s = 2.0;   ///< exponential growth cap
+  std::uint64_t seed = 0;       ///< jitter seed (deterministic per run)
+};
+
+/// \brief Deterministic backoff before retry `attempt` of `shard`
+/// (attempt is the 1-based count already consumed, so the first retry
+/// passes 1). Exponential — min(max, base * 2^(attempt-1)) — with
+/// multiplicative jitter in [0.5, 1.0] hashed from (seed, shard,
+/// attempt): retries spread out instead of stampeding, and the same
+/// inputs always wait the same time, keeping soak tests reproducible.
+double retry_backoff_s(const RetryPolicy& policy, unsigned shard, int attempt);
+
+/// \brief Greedy list-scheduling makespan estimate: items (cost units)
+/// assigned in order, each to the earliest-free of `workers` slots.
+/// Drives the scheduling log that compares static contiguous shards to
+/// weighted micro-shards; never affects results.
+std::uint64_t estimate_makespan(const std::vector<std::uint64_t>& costs,
+                                unsigned workers);
 
 /// \brief Per-attempt progress callback of the orchestrator.
 ///
@@ -88,18 +146,31 @@ struct ShardRun {
 using ShardProgress =
     std::function<void(const ShardRun&, unsigned completed, unsigned total)>;
 
-/// \brief Drives `launch(shard)` for every shard over `workers` concurrent
-/// slots, retrying failures.
+/// \brief Launcher callback: runs `shard`'s attempt number `attempt`
+/// (1-based) and reports how it ended. Must be thread-safe: up to
+/// `workers` invocations run concurrently.
+using ShardLauncher = std::function<ShardAttempt(unsigned shard, int attempt)>;
+
+/// \brief Drives `launch` for every shard over `workers` concurrent
+/// slots, retrying failures under `policy`.
 ///
-/// `launch` returns a process-style exit code; nonzero outcomes are
-/// retried until the shard succeeds or has consumed `max_attempts`
-/// launches. A launcher that throws counts as exit code -1 for that
-/// attempt. Returns one ShardRun per shard, indexed by shard. The launcher
-/// must be thread-safe: up to `workers` invocations run concurrently.
-/// `progress`, when set, observes every attempt (see ShardProgress).
+/// Failed attempts are retried — after the deterministic retry_backoff_s
+/// delay — until the shard succeeds or has consumed
+/// `policy.max_attempts` launches, with one exception: an attempt that
+/// exits with code 2 (the CLI's usage/config contract) is a *permanent*
+/// error that retrying cannot fix, so it is never retried and the whole
+/// run aborts — every shard still queued is marked kSkipped instead of
+/// burning attempts on the same deterministic failure. A launcher that
+/// throws records kSpawnFailed with the exception's what() as the error.
+/// `order`, when non-empty, fixes the initial dispatch order (it must be
+/// a permutation of 0..shards-1) — the weighted scheduler enqueues
+/// expensive micro-shards first so no heavy block starts last.
+/// Returns one ShardRun per shard, indexed by shard. `progress`, when
+/// set, observes every attempt (see ShardProgress).
 std::vector<ShardRun> run_shard_jobs(unsigned shards, unsigned workers,
-                                     unsigned max_attempts,
-                                     const std::function<int(unsigned)>& launch,
-                                     const ShardProgress& progress = nullptr);
+                                     const RetryPolicy& policy,
+                                     const ShardLauncher& launch,
+                                     const ShardProgress& progress = nullptr,
+                                     const std::vector<unsigned>& order = {});
 
 }  // namespace hxmesh::engine

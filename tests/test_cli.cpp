@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "core/chaos.hpp"
 #include "core/fsio.hpp"
 #include "topo/routing_oracle.hpp"
 
@@ -361,6 +362,242 @@ TEST(Cli, CacheStatsExposeRoutingOracleCounters) {
   EXPECT_NE(sweep.err.find("routing: "), std::string::npos) << sweep.err;
   EXPECT_NE(sweep.err.find("topology groups"), std::string::npos) << sweep.err;
   EXPECT_NE(sweep.err.find("solver rounds: "), std::string::npos) << sweep.err;
+}
+
+TEST(Cli, RobustnessFlagsAreValidated) {
+  const std::vector<std::string> cell = {"--topo", "hx2mesh:2x2", "--pattern",
+                                         "perm:msg=64KiB"};
+  auto with = [&](std::vector<std::string> args,
+                  const std::vector<std::string>& extra) {
+    args.insert(args.end(), cell.begin(), cell.end());
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  };
+  // run is a single cell: none of the orchestration flags apply.
+  EXPECT_EQ(run(with({"run"}, {"--micro-shards", "4", "--no-cache"})).code, 2);
+  EXPECT_EQ(run(with({"run"}, {"--shard-timeout", "5", "--no-cache"})).code, 2);
+  EXPECT_EQ(run(with({"run"}, {"--weighted", "--no-cache"})).code, 2);
+  EXPECT_EQ(run(with({"run"}, {"--attempt", "2", "--no-cache"})).code, 2);
+  // sweep: the partition flags are mutually exclusive, the watchdog needs
+  // a sharded run to watch, and the shard-only flags are rejected.
+  auto both = run(with({"sweep"}, {"--micro-shards", "4", "--shards", "2"}));
+  EXPECT_EQ(both.code, 2);
+  EXPECT_NE(both.err.find("pick one"), std::string::npos) << both.err;
+  auto orphan_timeout = run(with({"sweep"}, {"--shard-timeout", "5"}));
+  EXPECT_EQ(orphan_timeout.code, 2);
+  EXPECT_NE(orphan_timeout.err.find("--shard-timeout needs"),
+            std::string::npos)
+      << orphan_timeout.err;
+  EXPECT_EQ(run(with({"sweep"}, {"--weighted"})).code, 2);
+  EXPECT_EQ(run(with({"sweep"}, {"--attempt", "2"})).code, 2);
+  // Micro-shards go through the shared sharded path: cache required.
+  EXPECT_EQ(run(with({"sweep"}, {"--micro-shards", "4", "--no-cache"})).code,
+            2);
+  // shard: the sweep-side flags are rejected, and bad durations fail.
+  EXPECT_EQ(run(with({"shard"}, {"--shards", "2", "--shard", "0",
+                                 "--shard-timeout", "1"}))
+                .code,
+            2);
+  EXPECT_EQ(run(with({"sweep"}, {"--shards", "2", "--shard-timeout", "abc"}))
+                .code,
+            2);
+  EXPECT_EQ(run(with({"sweep"}, {"--shards", "2", "--retry-backoff", "-1"}))
+                .code,
+            2);
+}
+
+TEST(Cli, MicroShardsSweepMatchesSingleProcessAndLogsTheSchedule) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  const std::string dir = fresh_dir("cli_micro_shards");
+  ensure_dir(dir);
+  const std::string config = dir + "/grid.json";
+  // Mixed flow+packet so the cost-weighted boundaries differ from the
+  // equal-count split: the packet cell dwarfs every flow cell.
+  write_file_atomic(config, R"({
+    "topologies": ["hx2mesh:2x2"],
+    "engines": ["flow", "packet"],
+    "patterns": ["shift:1:msg=64KiB", "perm:msg=64KiB"],
+    "seeds": [1]
+  })");
+
+  auto single =
+      run({"sweep", "--config", config, "--no-cache", "--threads", "2"});
+  ASSERT_EQ(single.code, 0) << single.err;
+
+  auto micro = run({"sweep", "--config", config, "--micro-shards", "4",
+                    "--workers", "2", "--threads", "1", "--cache-dir",
+                    dir + "/cache"});
+  ASSERT_EQ(micro.code, 0) << micro.err;
+  EXPECT_EQ(micro.out, single.out);  // byte-identical rows, resorted work
+  EXPECT_NE(micro.err.find("sched: 4 cells as 4 weighted micro-shards"),
+            std::string::npos)
+      << micro.err;
+  EXPECT_NE(micro.err.find("est. makespan"), std::string::npos) << micro.err;
+  EXPECT_NE(micro.err.find("shards: 4 ok"), std::string::npos) << micro.err;
+}
+
+// Sets HXMESH_CHAOS for one test; shard children inherit it through the
+// orchestrator's environment.
+struct ChaosEnv {
+  explicit ChaosEnv(const std::string& spec) {
+    ::setenv("HXMESH_CHAOS", spec.c_str(), 1);
+  }
+  ~ChaosEnv() { ::unsetenv("HXMESH_CHAOS"); }
+};
+
+TEST(Cli, ChaosSoakSurvivesKillsAndHangsByteIdentically) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  // chaos_action is a pure function of (spec, shard, attempt), so the test
+  // can pick a seed whose fault schedule is interesting but survivable:
+  // every shard succeeds within the retry budget, at least one attempt is
+  // killed, at least one hangs (exercising the watchdog), and hangs are
+  // few enough to keep the wall clock short.
+  const unsigned shards = 8;
+  const int max_attempts = 7;  // 1 + --retries 6
+  std::uint64_t seed = 0;
+  int kills = 0, hangs = 0;
+  bool found = false;
+  for (std::uint64_t s = 0; s < 10000 && !found; ++s) {
+    ChaosSpec spec;
+    spec.kill_p = 0.25;
+    spec.hang_p = 0.2;
+    spec.seed = s;
+    kills = hangs = 0;
+    bool survivable = true;
+    for (unsigned shard = 0; shard < shards && survivable; ++shard) {
+      int attempt = 1;
+      for (; attempt <= max_attempts; ++attempt) {
+        const ChaosAction action = chaos_action(spec, shard, attempt);
+        if (action == ChaosAction::kNone) break;
+        ++(action == ChaosAction::kKill ? kills : hangs);
+      }
+      survivable = attempt <= max_attempts;
+    }
+    if (survivable && kills >= 1 && hangs >= 1 && hangs <= 2) {
+      seed = s;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no survivable fault schedule in 10000 seeds";
+
+  const std::string dir = fresh_dir("cli_chaos_soak");
+  ensure_dir(dir);
+  const std::string config = dir + "/grid.json";
+  write_file_atomic(config, R"({
+    "topologies": ["hx2mesh:2x2", "torus:4x4"],
+    "patterns": ["shift:1:msg=64KiB", "perm:msg=64KiB"],
+    "seeds": [1, 2]
+  })");
+
+  auto single =
+      run({"sweep", "--config", config, "--no-cache", "--threads", "2"});
+  ASSERT_EQ(single.code, 0) << single.err;
+
+  const ChaosEnv chaos("kill:0.25:seed=" + std::to_string(seed) + ",hang:0.2");
+  auto soaked = run({"sweep", "--config", config, "--micro-shards",
+                     std::to_string(shards), "--workers", "3", "--retries",
+                     "6", "--shard-timeout", "1", "--retry-backoff", "0.01",
+                     "--progress", "--threads", "1", "--cache-dir",
+                     dir + "/cache"});
+  ASSERT_EQ(soaked.code, 0) << soaked.err;
+  // The deliverable: real SIGKILLed children and real hung children, and
+  // the merged rows are still byte-identical to the clean run.
+  EXPECT_EQ(soaked.out, single.out);
+  EXPECT_NE(soaked.err.find("signaled"), std::string::npos) << soaked.err;
+  EXPECT_NE(soaked.err.find("timed-out"), std::string::npos) << soaked.err;
+  EXPECT_NE(soaked.err.find("succeeded on attempt"), std::string::npos)
+      << soaked.err;
+  EXPECT_NE(soaked.err.find("shards: 8 ok"), std::string::npos) << soaked.err;
+}
+
+TEST(Cli, ChaosNegativeControlFailsWithoutRetries) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  // kill:1 murders every attempt; with --retries 0 the sweep must fail.
+  // This is the control that proves the soak test cannot silently pass
+  // with chaos disabled.
+  const std::string dir = fresh_dir("cli_chaos_control");
+  ensure_dir(dir);
+  const ChaosEnv chaos("kill:1");
+  auto r = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern",
+                "perm:msg=64KiB", "--shards", "2", "--retries", "0",
+                "--threads", "1", "--cache-dir", dir + "/cache"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("signaled"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("shards failed"), std::string::npos) << r.err;
+}
+
+TEST(Cli, BadChaosSpecIsAPermanentErrorKillingTheSweepFast) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  // A malformed spec makes the child exit 2 — a config error no retry can
+  // fix. The orchestrator must not burn the retry budget: one attempt,
+  // everything else skipped, and the child's message reaches the report.
+  const std::string dir = fresh_dir("cli_chaos_badspec");
+  ensure_dir(dir);
+  const ChaosEnv chaos("kill:1.5");
+  auto r = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern",
+                "perm:msg=64KiB", "--shards", "2", "--workers", "1",
+                "--retries", "5", "--threads", "1", "--cache-dir",
+                dir + "/cache"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("permanent config error, not retried"),
+            std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("after 1 attempt(s)"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("skipped"), std::string::npos) << r.err;
+  // The child's own stderr message survived into the shard report.
+  EXPECT_NE(r.err.find("HXMESH_CHAOS"), std::string::npos) << r.err;
+}
+
+TEST(Cli, CacheStatsReportQuarantineAndSweepsReportIntegrity) {
+  const std::string dir = fresh_dir("cli_quarantine");
+  ASSERT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                 "shift:1:msg=64KiB", "--threads", "1", "--cache-dir", dir})
+                .code,
+            0);
+
+  // Tear the entry on disk: the next cached run must quarantine it,
+  // recompute, and say so.
+  auto entries = list_files(dir);
+  ASSERT_FALSE(entries.empty());
+  auto text = read_file(entries.front());
+  ASSERT_TRUE(text.has_value());
+  write_file_atomic(entries.front(), text->substr(0, text->size() / 2));
+
+  auto healed = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                     "shift:1:msg=64KiB", "--threads", "1", "--cache-dir",
+                     dir});
+  ASSERT_EQ(healed.code, 0) << healed.err;
+  EXPECT_NE(healed.err.find("1 quarantined (this process)"),
+            std::string::npos)
+      << healed.err;
+
+  auto stats = run({"cache", "stats", "--cache-dir", dir});
+  EXPECT_EQ(stats.code, 0);
+  EXPECT_NE(stats.out.find("quarantined: 1"), std::string::npos) << stats.out;
+
+  // A clean hit verifies the checksum and reports it.
+  auto warm = run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                   "shift:1:msg=64KiB", "--threads", "1", "--cache-dir",
+                   dir});
+  EXPECT_NE(warm.err.find("1 verified hits"), std::string::npos) << warm.err;
+
+  // clear() reclaims the quarantined evidence too.
+  ASSERT_EQ(run({"cache", "clear", "--cache-dir", dir}).code, 0);
+  EXPECT_NE(run({"cache", "stats", "--cache-dir", dir})
+                .out.find("quarantined: 0"),
+            std::string::npos);
 }
 
 TEST(Cli, ProgressFlagIsSweepOnly) {

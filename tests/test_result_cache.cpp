@@ -165,6 +165,76 @@ TEST(ResultCache, SchemaMismatchIsAMiss) {
   text->replace(pos, marker.size(), "\"schema\":999");
   write_file_atomic(path, *text);
   EXPECT_FALSE(cache.load(key).has_value());
+  // Stale is not corrupt: a foreign schema version is an expected state
+  // after an upgrade, so it is overwritten in place, never quarantined.
+  EXPECT_EQ(cache.quarantined(), 0u);
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+}
+
+TEST(ResultCache, TamperedEntryIsQuarantinedAndHealedByRecompute) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_dir("cache_quarantine");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  result.flows = {{0, 1, 2.5}};
+  result.rate_summary = engine::summarize_rates(result.flows);
+  result.completion_s = 1.25;
+  const std::string key = ResultCache::cell_key(
+      "hx2mesh:2x2", "flow", flow::parse_traffic("shift:1"), 1);
+  cache.store(key, result);
+
+  // Entries carry a trailing checksum and every hit verifies it.
+  const std::string path = dir + "/" + key + ".json";
+  auto text = read_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("\"checksum\":\""), std::string::npos);
+  ASSERT_TRUE(cache.load(key).has_value());
+  EXPECT_EQ(cache.verified_hits(), 1u);
+  EXPECT_EQ(cache.quarantined(), 0u);
+
+  // Flip one digit of the stored rate: still perfectly valid JSON of the
+  // current schema — only the checksum can tell it is not the result that
+  // was stored.
+  const auto pos = text->find("[0,1,2.5]");
+  ASSERT_NE(pos, std::string::npos);
+  std::string tampered = *text;
+  tampered[pos + 5] = '3';  // 2.5 -> 3.5
+  write_file_atomic(path, tampered);
+
+  EXPECT_FALSE(cache.load(key).has_value());  // miss, never a wrong hit
+  EXPECT_EQ(cache.quarantined(), 1u);
+  EXPECT_FALSE(fs::exists(path));  // evidence moved, not overwritten...
+  EXPECT_TRUE(fs::exists(cache.quarantine_dir() + "/" + key + ".json"));
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+
+  // ...and the recompute heals the live entry as usual.
+  cache.store(key, result);
+  const auto healed = cache.load(key);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->flows[0].rate, 2.5);
+  EXPECT_EQ(cache.verified_hits(), 2u);
+
+  // clear() reclaims the quarantined blobs along with the entries.
+  EXPECT_EQ(cache.clear(), 1u);
+  EXPECT_FALSE(fs::exists(cache.quarantine_dir()));
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+}
+
+TEST(ResultCache, TruncatedEntryIsQuarantined) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_dir("cache_truncated");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  cache.store("abcd", result);
+
+  // A torn write: the checksum field never made it to disk.
+  auto text = read_file(dir + "/abcd.json");
+  ASSERT_TRUE(text.has_value());
+  write_file_atomic(dir + "/abcd.json", text->substr(0, text->size() / 2));
+
+  EXPECT_FALSE(cache.load("abcd").has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+  EXPECT_TRUE(fs::exists(cache.quarantine_dir() + "/abcd.json"));
 }
 
 TEST(ResultCache, NonNumericFlowRateIsAMiss) {

@@ -213,28 +213,229 @@ TEST(ShardMerge, RejectsIncompleteOrForeignManifests) {
             std::string::npos);
 }
 
+// Exited launcher attempt with the given code, as the CLI would report it.
+engine::ShardAttempt exited(int code, std::string error = "") {
+  engine::ShardAttempt attempt;
+  attempt.outcome = engine::ShardOutcome::kExited;
+  attempt.exit_code = code;
+  attempt.error = std::move(error);
+  return attempt;
+}
+
+// Fast retry policy for unit tests: no backoff sleeping.
+engine::RetryPolicy attempts_policy(unsigned max_attempts) {
+  engine::RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.backoff_base_s = 0.0;
+  return policy;
+}
+
 TEST(ShardOrchestrator, RunsEveryShardAndRetriesFailures) {
   // Shard 1 fails twice before succeeding; shard 3 never succeeds.
   std::mutex mutex;
   std::map<unsigned, int> calls;
-  auto launch = [&](unsigned shard) {
-    std::lock_guard lock(mutex);
-    const int attempt = ++calls[shard];
-    if (shard == 1 && attempt <= 2) return 7;
-    if (shard == 3) return 9;
-    return 0;
+  auto launch = [&](unsigned shard, int attempt) {
+    {
+      std::lock_guard lock(mutex);
+      EXPECT_EQ(++calls[shard], attempt);  // attempts are 1-based, in order
+    }
+    if (shard == 1 && attempt <= 2) return exited(7, "transient failure");
+    if (shard == 3) return exited(9, "persistent failure");
+    return exited(0);
   };
-  const auto runs = engine::run_shard_jobs(5, 2, 3, launch);
+  const auto runs = engine::run_shard_jobs(5, 2, attempts_policy(3), launch);
   ASSERT_EQ(runs.size(), 5u);
   for (unsigned s = 0; s < 5; ++s) EXPECT_EQ(runs[s].shard, s);
-  EXPECT_EQ(runs[0].exit_code, 0);
+  EXPECT_TRUE(runs[0].ok());
   EXPECT_EQ(runs[0].attempts, 1);
-  EXPECT_EQ(runs[1].exit_code, 0);
+  EXPECT_TRUE(runs[1].ok());
   EXPECT_EQ(runs[1].attempts, 3);  // two failures, then success
+  EXPECT_EQ(runs[1].error, "");    // the last attempt succeeded
   EXPECT_EQ(runs[3].exit_code, 9);
+  EXPECT_EQ(runs[3].outcome, engine::ShardOutcome::kExited);
+  EXPECT_EQ(runs[3].error, "persistent failure");  // what() survives
   EXPECT_EQ(runs[3].attempts, 3);  // exhausted max_attempts
   EXPECT_EQ(calls[1], 3);
   EXPECT_EQ(calls[3], 3);
+}
+
+TEST(ShardOrchestrator, PermanentConfigErrorAbortsWithoutBurningRetries) {
+  // Exit code 2 is the CLI's usage/config contract: deterministic, so the
+  // orchestrator must not retry it, and every shard still waiting in the
+  // queue is skipped instead of tripping over the same config.
+  std::mutex mutex;
+  std::map<unsigned, int> calls;
+  auto launch = [&](unsigned shard, int) {
+    std::lock_guard lock(mutex);
+    ++calls[shard];
+    return shard == 0 ? exited(2, "bad --pattern spec") : exited(0);
+  };
+  // One worker: shard 0 is dispatched first, so the outcome is exact.
+  const auto runs = engine::run_shard_jobs(4, 1, attempts_policy(5), launch);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].attempts, 1);  // never retried
+  EXPECT_EQ(runs[0].exit_code, 2);
+  EXPECT_EQ(runs[0].error, "bad --pattern spec");
+  EXPECT_EQ(calls[0], 1);
+  for (unsigned s = 1; s < 4; ++s) {
+    EXPECT_EQ(runs[s].outcome, engine::ShardOutcome::kSkipped) << s;
+    EXPECT_EQ(runs[s].attempts, 0) << s;
+    EXPECT_EQ(calls.count(s), 0u) << s;
+  }
+}
+
+TEST(ShardOrchestrator, DispatchOrderIsHonored) {
+  std::mutex mutex;
+  std::vector<unsigned> dispatched;
+  auto launch = [&](unsigned shard, int) {
+    std::lock_guard lock(mutex);
+    dispatched.push_back(shard);
+    return exited(0);
+  };
+  const std::vector<unsigned> order = {2, 0, 3, 1};
+  const auto runs =
+      engine::run_shard_jobs(4, 1, attempts_policy(1), launch, nullptr, order);
+  EXPECT_EQ(dispatched, order);
+  for (const auto& run : runs) EXPECT_TRUE(run.ok());
+  // A partial order is a bug, not a hint.
+  EXPECT_THROW(
+      engine::run_shard_jobs(4, 1, attempts_policy(1), launch, nullptr, {1}),
+      std::invalid_argument);
+}
+
+TEST(RetryBackoff, DeterministicBoundedAndGrowing) {
+  engine::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.backoff_base_s = 0.25;
+  policy.backoff_max_s = 2.0;
+  policy.seed = 42;
+  for (unsigned shard = 0; shard < 4; ++shard) {
+    double prev_cap = 0.0;
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+      const double a = engine::retry_backoff_s(policy, shard, attempt);
+      const double b = engine::retry_backoff_s(policy, shard, attempt);
+      EXPECT_EQ(a, b) << "same inputs must wait the same time";
+      const double cap =
+          std::min(policy.backoff_max_s,
+                   policy.backoff_base_s * static_cast<double>(1 << (attempt - 1)));
+      EXPECT_GE(a, cap * 0.5) << shard << "/" << attempt;
+      EXPECT_LE(a, cap) << shard << "/" << attempt;
+      EXPECT_GE(cap, prev_cap);
+      prev_cap = cap;
+    }
+  }
+  // Different seeds jitter differently (with overwhelming probability).
+  engine::RetryPolicy other = policy;
+  other.seed = 43;
+  EXPECT_NE(engine::retry_backoff_s(policy, 0, 1),
+            engine::retry_backoff_s(other, 0, 1));
+  // Zero base disables the delay entirely.
+  other.backoff_base_s = 0.0;
+  EXPECT_EQ(engine::retry_backoff_s(other, 0, 3), 0.0);
+}
+
+TEST(WeightedPartition, CoversExactlyAndBalancesCost) {
+  // Mixed flow+packet grid: packet cells carry a 256x engine weight, so
+  // the cost-balanced boundaries must land unevenly in cell space.
+  SweepConfig config;
+  config.topologies = {"hx2mesh:2x2"};
+  config.engines = {"flow", "packet"};
+  config.patterns = {flow::parse_traffic("shift:1:msg=64KiB"),
+                     flow::parse_traffic("perm:msg=64KiB")};
+  config.seeds = {1, 2};
+  const GridPlan plan({GridSpec{config, {}}});
+  ASSERT_EQ(plan.total_cells(), 8u);  // 1 topo x 2 engines x 2 patterns x 2 seeds
+
+  std::uint64_t max_cell_cost = 0, total = 0;
+  for (std::size_t c = 0; c < plan.total_cells(); ++c) {
+    EXPECT_GE(plan.cell_cost(c), 1u);
+    max_cell_cost = std::max(max_cell_cost, plan.cell_cost(c));
+    total += plan.cell_cost(c);
+  }
+  EXPECT_EQ(total, plan.total_cost());
+  // Packet cells must dominate flow cells by orders of magnitude. Cells
+  // are engine-major within the topology, so cell 4 is the first packet
+  // cell.
+  EXPECT_GT(plan.cell_cost(4), 100 * plan.cell_cost(0));
+
+  for (unsigned shards : {1u, 2u, 3u, 5u, 8u, 16u, 40u}) {
+    std::size_t expect_lo = 0;
+    std::uint64_t max_shard_cost = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+      const auto [lo, hi] = plan.weighted_shard_cells(s, shards);
+      EXPECT_EQ(lo, expect_lo) << s << "/" << shards;
+      EXPECT_LE(lo, hi);
+      expect_lo = hi;
+      std::uint64_t cost = 0;
+      for (std::size_t c = lo; c < hi; ++c) cost += plan.cell_cost(c);
+      max_shard_cost = std::max(max_shard_cost, cost);
+    }
+    EXPECT_EQ(expect_lo, plan.total_cells()) << shards;
+    // Cost balance: no shard exceeds its fair share by more than the
+    // largest single cell (the indivisible unit).
+    EXPECT_LE(max_shard_cost, plan.total_cost() / shards + max_cell_cost)
+        << shards;
+  }
+  EXPECT_THROW(plan.weighted_shard_cells(3, 3), std::invalid_argument);
+}
+
+TEST(WeightedPartition, EndpointEstimatesScaleWithSpecs) {
+  using engine::GridPlan;
+  EXPECT_EQ(GridPlan::estimate_endpoints("hx2mesh:16x16"), 1024u);
+  EXPECT_EQ(GridPlan::estimate_endpoints("hx4mesh:8x8"), 1024u);
+  EXPECT_EQ(GridPlan::estimate_endpoints("hxmesh:2x4:8x8"), 512u);
+  EXPECT_EQ(GridPlan::estimate_endpoints("torus:16x16"), 256u);
+  EXPECT_GT(GridPlan::estimate_endpoints("hx2mesh:256x256"),
+            GridPlan::estimate_endpoints("hx2mesh:2x2"));
+  // Fault groups and options do not disturb the dims parse.
+  EXPECT_EQ(GridPlan::estimate_endpoints("hx2mesh:4x4:faults=links:0.01"),
+            GridPlan::estimate_endpoints("hx2mesh:4x4"));
+  // Unknown families still produce a usable (positive) weight.
+  EXPECT_GE(GridPlan::estimate_endpoints("mystery:topology"), 1u);
+}
+
+TEST(WeightedPartition, WeightedShardedRunMergesByteIdentical) {
+  const auto grids = tiny_grids();
+  ExperimentHarness harness(2);
+  const std::string single = rows_json(harness.run_grids(grids, nullptr));
+
+  const GridPlan plan(grids);
+  ResultCache cache(fresh_dir("weighted_merge_cache"));
+  const unsigned shards = 6;  // over-decomposed relative to 10 cells
+  std::vector<ShardManifest> manifests;
+  for (unsigned s = 0; s < shards; ++s)
+    manifests.push_back(
+        engine::run_shard(harness, plan, s, shards, cache, true));
+
+  // The weighted ranges differ from the equal-count split but still
+  // merge: coverage verification is partition-agnostic.
+  EXPECT_EQ(engine::merge_error(plan, manifests), "");
+  const auto merged = harness.run_cells(plan, 0, plan.total_cells(), &cache);
+  EXPECT_EQ(rows_json(merged), single);
+
+  // Coverage holes are still rejected: pull one cell out of a manifest.
+  auto holed = manifests;
+  for (auto& m : holed)
+    if (m.cell_hi > m.cell_lo) {
+      m.cell_hi -= 1;
+      m.keys.pop_back();
+      break;
+    }
+  EXPECT_NE(engine::merge_error(plan, holed), "");
+}
+
+TEST(MakespanEstimate, WeightedOverDecompositionShortensTheTail) {
+  // Two workers, one heavy contiguous block: the static 2-shard split
+  // serializes the heavy half on one worker. Over-decomposed weighted
+  // blocks let both workers share it.
+  const std::vector<std::uint64_t> static_shards = {4, 1024};
+  const std::vector<std::uint64_t> micro_shards = {260, 256, 256, 256};
+  const std::uint64_t static_ms = engine::estimate_makespan(static_shards, 2);
+  const std::uint64_t micro_ms = engine::estimate_makespan(micro_shards, 2);
+  EXPECT_EQ(static_ms, 1024u);
+  EXPECT_LT(micro_ms, static_ms);
+  // List scheduling in the given order: heaviest-first keeps the bound.
+  EXPECT_LE(micro_ms, 1028u / 2 + 260);
 }
 
 TEST(ShardOrchestrator, ProgressObservesEveryAttemptAndCompletion) {
@@ -243,9 +444,9 @@ TEST(ShardOrchestrator, ProgressObservesEveryAttemptAndCompletion) {
   // non-decreasing completed count that ends exactly at the shard total.
   std::mutex mutex;
   std::map<unsigned, int> calls;
-  auto launch = [&](unsigned shard) {
+  auto launch = [&](unsigned shard, int) {
     std::lock_guard lock(mutex);
-    return shard == 1 && ++calls[shard] == 1 ? 3 : 0;
+    return shard == 1 && ++calls[shard] == 1 ? exited(3) : exited(0);
   };
   struct Event {
     unsigned shard;
@@ -261,7 +462,8 @@ TEST(ShardOrchestrator, ProgressObservesEveryAttemptAndCompletion) {
     events.push_back({run.shard, run.attempts, run.exit_code, completed,
                       total});
   };
-  const auto runs = engine::run_shard_jobs(4, 2, 3, launch, progress);
+  const auto runs =
+      engine::run_shard_jobs(4, 2, attempts_policy(3), launch, progress);
   ASSERT_EQ(runs.size(), 4u);
   ASSERT_EQ(events.size(), 5u);  // 4 shards + 1 retried attempt
   unsigned last_completed = 0;
@@ -283,13 +485,15 @@ TEST(ShardOrchestrator, ProgressObservesEveryAttemptAndCompletion) {
 
 TEST(ShardOrchestrator, LauncherExceptionsCountAsFailedAttempts) {
   std::atomic<int> calls{0};
-  auto launch = [&](unsigned) -> int {
+  auto launch = [&](unsigned, int) -> engine::ShardAttempt {
     ++calls;
     throw std::runtime_error("spawn blew up");
   };
-  const auto runs = engine::run_shard_jobs(1, 4, 2, launch);
+  const auto runs = engine::run_shard_jobs(1, 4, attempts_policy(2), launch);
   ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].outcome, engine::ShardOutcome::kSpawnFailed);
   EXPECT_EQ(runs[0].exit_code, -1);
+  EXPECT_EQ(runs[0].error, "spawn blew up");  // what() survives to the report
   EXPECT_EQ(runs[0].attempts, 2);
   EXPECT_EQ(calls.load(), 2);
 }
