@@ -59,6 +59,19 @@ double chaos_uniform(const ChaosSpec& spec, const char* tag, unsigned shard,
   return static_cast<double>(hash.digest() >> 11) * 0x1.0p-53;
 }
 
+// The network classes fold the host index in as well: two hosts leasing
+// the same (shard, attempt) draw independently.
+double chaos_net_uniform(const ChaosSpec& spec, const char* tag,
+                         unsigned host, unsigned shard, int attempt) {
+  Fnv1a hash;
+  hash.update(spec.seed)
+      .update(std::string_view(tag))
+      .update(static_cast<std::uint64_t>(host))
+      .update(static_cast<std::uint64_t>(shard))
+      .update(attempt);
+  return static_cast<double>(hash.digest() >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 ChaosSpec parse_chaos(const std::string& text) {
@@ -67,10 +80,18 @@ ChaosSpec parse_chaos(const std::string& text) {
   for (const std::string& group : split(text, ',')) {
     const std::vector<std::string> tokens = split(group, ':');
     std::size_t next = 0;
-    if (tokens[0] == "kill" || tokens[0] == "hang") {
+    if (tokens[0] == "kill" || tokens[0] == "hang" || tokens[0] == "drop" ||
+        tokens[0] == "delay") {
       if (tokens.size() < 2) bad_spec(text, tokens[0] + " needs a probability");
       const double p = parse_probability(text, tokens[1]);
-      (tokens[0] == "kill" ? spec.kill_p : spec.hang_p) = p;
+      if (tokens[0] == "kill")
+        spec.kill_p = p;
+      else if (tokens[0] == "hang")
+        spec.hang_p = p;
+      else if (tokens[0] == "drop")
+        spec.drop_p = p;
+      else
+        spec.delay_p = p;
       next = 2;
     }
     for (; next < tokens.size(); ++next) {
@@ -102,4 +123,25 @@ ChaosAction chaos_action(const ChaosSpec& spec, unsigned shard, int attempt) {
   return ChaosAction::kNone;
 }
 
+const char* net_chaos_action_name(NetChaosAction action) {
+  switch (action) {
+    case NetChaosAction::kNone: return "none";
+    case NetChaosAction::kDrop: return "drop";
+    case NetChaosAction::kDelay: return "delay";
+  }
+  return "unknown";
+}
+
+NetChaosAction chaos_net_action(const ChaosSpec& spec, unsigned host,
+                                unsigned shard, int attempt) {
+  if (spec.drop_p > 0.0 &&
+      chaos_net_uniform(spec, "drop", host, shard, attempt) < spec.drop_p)
+    return NetChaosAction::kDrop;
+  if (spec.delay_p > 0.0 &&
+      chaos_net_uniform(spec, "delay", host, shard, attempt) < spec.delay_p)
+    return NetChaosAction::kDelay;
+  return NetChaosAction::kNone;
+}
+
 }  // namespace hxmesh
+

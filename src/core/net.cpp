@@ -1,0 +1,235 @@
+#include "core/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace hxmesh {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+[[noreturn]] void net_fail(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+// Remaining milliseconds until `deadline` for poll(); -1 = no deadline.
+// Clamps to >= 0 so an already-passed deadline polls without blocking.
+int poll_timeout_ms(bool has_deadline, clock_type::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - clock_type::now());
+  return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+}
+
+// Waits until `fd` is ready for `events` or the deadline passes.
+// Returns false on deadline expiry.
+bool wait_ready(int fd, short events, bool has_deadline,
+                clock_type::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd = {fd, events, 0};
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms(has_deadline, deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) net_fail("net: poll failed");
+  }
+}
+
+clock_type::time_point deadline_from(double timeout_s) {
+  return clock_type::now() + std::chrono::duration_cast<clock_type::duration>(
+                                 std::chrono::duration<double>(timeout_s));
+}
+
+// Resolves host:port to the first usable IPv4/IPv6 address.
+struct Resolved {
+  sockaddr_storage addr = {};
+  socklen_t len = 0;
+  int family = AF_INET;
+};
+
+Resolved resolve(const std::string& host, int port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0 || !res)
+    throw NetError("net: cannot resolve " + host + ": " +
+                   (rc ? ::gai_strerror(rc) : "no addresses"));
+  Resolved out;
+  std::memcpy(&out.addr, res->ai_addr, res->ai_addrlen);
+  out.len = static_cast<socklen_t>(res->ai_addrlen);
+  out.family = res->ai_family;
+  ::freeaddrinfo(res);
+  return out;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(const std::string& bind_addr, int port) {
+  const Resolved r = resolve(bind_addr, port);
+  Socket sock(::socket(r.family, SOCK_STREAM, 0));
+  if (!sock.valid()) net_fail("net: socket failed");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&r.addr), r.len) !=
+      0)
+    net_fail("net: cannot bind " + bind_addr + ":" + std::to_string(port));
+  if (::listen(sock.fd(), 16) != 0) net_fail("net: listen failed");
+  // Read back the bound port so --port 0 (ephemeral) is reportable.
+  sockaddr_storage bound = {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    net_fail("net: getsockname failed");
+  port_ = bound.ss_family == AF_INET6
+              ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+              : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+  sock_ = std::move(sock);
+}
+
+Socket TcpListener::accept(double timeout_s) {
+  const bool has_deadline = timeout_s > 0.0;
+  const auto deadline = has_deadline ? deadline_from(timeout_s)
+                                     : clock_type::time_point::max();
+  if (!wait_ready(sock_.fd(), POLLIN, has_deadline, deadline)) return Socket();
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // A peer that connected and vanished before accept is not fatal to
+    // the listener; report it as "no connection this round".
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK)
+      return Socket();
+    net_fail("net: accept failed");
+  }
+}
+
+Socket tcp_connect(const std::string& host, int port, double timeout_s) {
+  const Resolved r = resolve(host, port);
+  Socket sock(::socket(r.family, SOCK_STREAM, 0));
+  if (!sock.valid()) net_fail("net: socket failed");
+  const std::string who = host + ":" + std::to_string(port);
+  if (timeout_s <= 0.0) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&r.addr),
+                  r.len) != 0)
+      net_fail("net: cannot connect " + who);
+    return sock;
+  }
+  // Deadline connect: nonblocking connect, poll for writability, then read
+  // SO_ERROR for the real outcome.
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&r.addr),
+                r.len) != 0 &&
+      errno != EINPROGRESS)
+    net_fail("net: cannot connect " + who);
+  if (!wait_ready(sock.fd(), POLLOUT, true, deadline_from(timeout_s)))
+    throw NetError("net: connect to " + who + " timed out");
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+    net_fail("net: getsockopt failed");
+  if (err != 0)
+    throw NetError("net: cannot connect " + who + ": " + std::strerror(err));
+  ::fcntl(sock.fd(), F_SETFL, flags);
+  return sock;
+}
+
+void send_frame(Socket& sock, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw NetError("net: frame too large to send (" +
+                   std::to_string(payload.size()) + " bytes)");
+  unsigned char header[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(n >> 24);
+  header[1] = static_cast<unsigned char>(n >> 16);
+  header[2] = static_cast<unsigned char>(n >> 8);
+  header[3] = static_cast<unsigned char>(n);
+  std::string wire(reinterpret_cast<const char*>(header), 4);
+  wire.append(payload);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a vanished peer must become a NetError on this
+    // thread, not a SIGPIPE for the whole process.
+    const ssize_t w = ::send(sock.fd(), wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    net_fail("net: send failed");
+  }
+}
+
+std::optional<std::string> recv_frame(Socket& sock, double deadline_s) {
+  const bool has_deadline = deadline_s > 0.0;
+  const auto deadline = has_deadline ? deadline_from(deadline_s)
+                                     : clock_type::time_point::max();
+  auto read_exact = [&](char* buf, std::size_t want,
+                        bool eof_ok) -> std::size_t {
+    std::size_t got = 0;
+    while (got < want) {
+      if (!wait_ready(sock.fd(), POLLIN, has_deadline, deadline))
+        throw NetError("net: receive timed out (lease deadline)");
+      const ssize_t n = ::recv(sock.fd(), buf + got, want - got, 0);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        if (eof_ok && got == 0) return 0;  // clean close between frames
+        throw NetError("net: connection closed mid-frame");
+      }
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      net_fail("net: recv failed");
+    }
+    return got;
+  };
+
+  char header[4];
+  if (read_exact(header, 4, /*eof_ok=*/true) == 0) return std::nullopt;
+  const std::uint32_t n =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (n > kMaxFrameBytes)
+    throw NetError("net: frame length " + std::to_string(n) +
+                   " exceeds the protocol bound");
+  std::string payload(n, '\0');
+  if (n > 0) read_exact(payload.data(), n, /*eof_ok=*/false);
+  return payload;
+}
+
+}  // namespace hxmesh

@@ -1,0 +1,98 @@
+// Minimal TCP transport for the distributed sweep fabric.
+//
+// `hxmesh serve` daemons and the `--hosts` sweep orchestrator exchange
+// length-prefixed frames over plain TCP: a 4-byte big-endian payload
+// length followed by the payload bytes (JSON text at the protocol layer
+// above — this layer never looks inside). Every receive takes a deadline,
+// which is what turns a hung or vanished peer into a typed, catchable
+// NetError instead of a stuck orchestrator thread: the job-lease and
+// heartbeat state machines in the shard dispatcher are built on exactly
+// that property. No TLS, no retries, no reconnects here — the fabric's
+// reconnect backoff and host blacklisting live in the engine layer, where
+// they are testable without sockets.
+#pragma once
+
+/// \file
+/// \brief Minimal length-prefixed TCP framing: listener, deadline
+/// connect, and frame send/recv for the distributed sweep fabric.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hxmesh {
+
+/// \brief Typed transport failure (connect/bind/frame/timeout). The
+/// dispatcher maps any NetError to a *host fault* — charged to the host's
+/// health, never to the shard's retry budget.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// \brief Owning socket file descriptor (move-only RAII).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Largest accepted frame payload. Shard result blobs are small
+/// JSON documents; anything near this bound is a corrupt or hostile
+/// length prefix, and rejecting it keeps a bad peer from ballooning the
+/// receiver's memory.
+constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/// \brief Listening TCP socket.
+class TcpListener {
+ public:
+  /// Binds and listens on `bind_addr:port` (port 0 picks an ephemeral
+  /// port — read it back with port()). \throws NetError on failure.
+  TcpListener(const std::string& bind_addr, int port);
+
+  /// The actually bound port (resolves port 0).
+  int port() const { return port_; }
+
+  /// Accepts one connection, waiting at most `timeout_s` seconds
+  /// (0 = wait forever). Returns an invalid Socket on timeout — the
+  /// serve loop polls this way so a stop request is noticed promptly.
+  /// \throws NetError on accept failure.
+  Socket accept(double timeout_s);
+
+ private:
+  Socket sock_;
+  int port_ = 0;
+};
+
+/// \brief Connects to `host:port`, waiting at most `timeout_s` seconds
+/// (0 = the OS default). \throws NetError when the peer is unreachable,
+/// refuses, or the deadline passes — connection failures must surface
+/// fast so the dispatcher's backoff, not the TCP stack's, sets the pace.
+Socket tcp_connect(const std::string& host, int port, double timeout_s);
+
+/// \brief Sends one frame (4-byte big-endian length + payload).
+/// \throws NetError on a short or failed write (e.g. the peer vanished).
+void send_frame(Socket& sock, std::string_view payload);
+
+/// \brief Receives one frame, enforcing `deadline_s` seconds (0 = wait
+/// forever) across the whole frame — this is the job-lease deadline of
+/// the dispatcher. Returns nullopt on clean EOF before any byte (the
+/// peer closed between frames). \throws NetError on timeout, a torn
+/// frame (EOF mid-payload), or an oversized length prefix.
+std::optional<std::string> recv_frame(Socket& sock, double deadline_s);
+
+}  // namespace hxmesh

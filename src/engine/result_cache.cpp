@@ -190,6 +190,24 @@ void ResultCache::store(const std::string& key, const RunResult& result) const {
   write_file_atomic(entry_path(key), render_result(result));
 }
 
+bool ResultCache::blob_checksum_ok(const std::string& text) {
+  return checksum_valid(text);
+}
+
+std::optional<std::string> ResultCache::read_blob(const std::string& key) const {
+  return read_file(entry_path(key));
+}
+
+bool ResultCache::adopt_blob(const std::string& key, const std::string& text) {
+  if (!checksum_valid(text)) {
+    rejected_blobs_.fetch_add(1);
+    return false;
+  }
+  write_file_atomic(entry_path(key), text);
+  adopted_blobs_.fetch_add(1);
+  return true;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   Stats stats;
   for (const std::string& path : list_files(dir_)) {
@@ -242,6 +260,12 @@ ResultCache::PruneStats ResultCache::prune(
       if (std::optional<std::int64_t> mtime = file_mtime(path);
           mtime && *mtime < cutoff)
         remove_file(path);
+    // Quarantined blobs age out too (counted separately): they exist to
+    // be inspected soon after the corruption, not to accumulate forever.
+    for (const std::string& path : list_files(quarantine_dir()))
+      if (std::optional<std::int64_t> mtime = file_mtime(path);
+          mtime && *mtime < cutoff)
+        if (remove_file(path)) ++stats.quarantine_removed;
   }
   if (max_entries && entries.size() - first_kept > *max_entries)
     first_kept = entries.size() - *max_entries;

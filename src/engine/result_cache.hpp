@@ -90,6 +90,25 @@ class ResultCache {
   /// entry's FNV-1a content checksum.
   void store(const std::string& key, const RunResult& result) const;
 
+  // -- wire blobs (the distributed backend's transfer format) -------------
+
+  /// True when `text` is a complete entry whose trailing FNV-1a checksum
+  /// matches the bytes before it — the admission test every remote blob
+  /// must pass before it may enter this store.
+  static bool blob_checksum_ok(const std::string& text);
+
+  /// Raw entry text for `key` (exactly the bytes store() wrote), or
+  /// nullopt when absent. This is what an `hxmesh serve` daemon streams
+  /// back to the orchestrator; no counters move.
+  std::optional<std::string> read_blob(const std::string& key) const;
+
+  /// Verifies and stores a wire blob received from a remote worker.
+  /// Returns false — writing nothing — when the checksum does not match:
+  /// a corrupt wire blob is rejected at the door and the cell is
+  /// recomputed by a re-lease, never replayed from the bad bytes. Counts
+  /// adopted and rejected blobs for the integrity report.
+  bool adopt_blob(const std::string& key, const std::string& text);
+
   // -- session counters (since construction) ------------------------------
   std::size_t hits() const { return hits_.load(); }
   std::size_t misses() const { return misses_.load(); }
@@ -98,6 +117,10 @@ class ResultCache {
   std::size_t verified_hits() const { return verified_hits_.load(); }
   /// Corrupt entries moved to quarantine by this process.
   std::size_t quarantined() const { return quarantined_.load(); }
+  /// Remote wire blobs verified and written by adopt_blob().
+  std::size_t adopted_blobs() const { return adopted_blobs_.load(); }
+  /// Remote wire blobs rejected by adopt_blob() (checksum mismatch).
+  std::size_t rejected_blobs() const { return rejected_blobs_.load(); }
 
   // -- maintenance (the CLI's `cache` subcommand) -------------------------
   struct Stats {
@@ -116,6 +139,10 @@ class ResultCache {
   struct PruneStats {
     std::size_t removed = 0;
     std::size_t kept = 0;
+    /// Quarantined blobs aged out by this prune. Quarantine is evidence,
+    /// not data — nothing ever reads it back — so without this aging the
+    /// directory would grow without bound on a long-lived host.
+    std::size_t quarantine_removed = 0;
   };
   /// Evicts entries by age and count: first removes entries whose
   /// last-use time (mtime — load() touches entries on hit, so this is an
@@ -124,8 +151,10 @@ class ResultCache {
   /// least-recently-used ones down to that bound. Pass nullopt to skip
   /// either criterion. Deterministic: ties on mtime break by file name.
   /// With an age bound, sharded-sweep metadata files under
-  /// shard_meta_dir() past the bound are cleaned up as well (they are
-  /// derived artifacts, not entries, so they appear in neither count).
+  /// shard_meta_dir() and quarantined blobs under quarantine_dir() past
+  /// the bound are aged out as well (they are derived artifacts, not
+  /// entries, so they appear in removed/kept only via
+  /// `quarantine_removed`).
   PruneStats prune(std::optional<std::int64_t> max_age_s,
                    std::optional<std::size_t> max_entries) const;
 
@@ -142,6 +171,8 @@ class ResultCache {
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> verified_hits_{0};
   std::atomic<std::size_t> quarantined_{0};
+  std::atomic<std::size_t> adopted_blobs_{0};
+  std::atomic<std::size_t> rejected_blobs_{0};
 };
 
 }  // namespace hxmesh::engine

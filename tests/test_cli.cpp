@@ -4,15 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.hpp"
 #include "core/chaos.hpp"
 #include "core/fsio.hpp"
+#include "core/net.hpp"
 #include "topo/routing_oracle.hpp"
 
 namespace hxmesh {
@@ -307,6 +310,50 @@ TEST(Cli, CachePruneEvictsByCountAndRejectsBadFlags) {
   EXPECT_EQ(run({"cache", "prune", "--max-age", "7w", "--cache-dir", dir})
                 .code,
             2);
+}
+
+TEST(Cli, CachePruneAgesOutQuarantinedBlobs) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_dir("cli_prune_quarantine");
+  ASSERT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                 "shift:1:msg=64KiB", "--threads", "1", "--cache-dir", dir})
+                .code,
+            0);
+
+  // Corrupt the entry and re-run: the blob lands in quarantine and the
+  // recompute heals the live entry.
+  auto entries = list_files(dir);
+  ASSERT_FALSE(entries.empty());
+  auto text = read_file(entries.front());
+  ASSERT_TRUE(text.has_value());
+  write_file_atomic(entries.front(), text->substr(0, text->size() / 2));
+  ASSERT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern",
+                 "shift:1:msg=64KiB", "--threads", "1", "--cache-dir", dir})
+                .code,
+            0);
+  const std::string blob = dir + "/quarantine/" +
+                           fs::path(entries.front()).filename().string();
+  ASSERT_TRUE(fs::exists(blob));
+
+  // Fresh evidence survives an age-bounded prune...
+  auto young = run({"cache", "prune", "--max-age", "7d", "--cache-dir", dir});
+  EXPECT_EQ(young.code, 0);
+  EXPECT_NE(young.out.find("quarantine: 0 blob(s) aged out"),
+            std::string::npos)
+      << young.out;
+  EXPECT_TRUE(fs::exists(blob));
+
+  // ...stale evidence is aged out, with its own count in the report.
+  fs::last_write_time(blob, fs::file_time_type::clock::now() -
+                                std::chrono::hours(10 * 24));
+  auto stale = run({"cache", "prune", "--max-age", "7d", "--cache-dir", dir});
+  EXPECT_EQ(stale.code, 0);
+  EXPECT_NE(stale.out.find("pruned 0 entries (1 kept)"), std::string::npos)
+      << stale.out;
+  EXPECT_NE(stale.out.find("quarantine: 1 blob(s) aged out"),
+            std::string::npos)
+      << stale.out;
+  EXPECT_FALSE(fs::exists(blob));
 }
 
 TEST(Cli, CacheStatsAndClear) {
@@ -609,6 +656,194 @@ TEST(Cli, ProgressFlagIsSweepOnly) {
                  "--shards", "2", "--shard", "0", "--progress"})
                 .code,
             2);
+}
+
+// An in-process `hxmesh serve` daemon on a loopback ephemeral port: the
+// constructor blocks until the listener is up (via --port-file), the
+// destructor shuts it down over the wire and joins.
+class ServeThread {
+ public:
+  explicit ServeThread(const std::string& name) {
+    const std::string dir = fresh_dir(name);
+    ensure_dir(dir);
+    cache_dir_ = dir + "/cache";
+    const std::string port_file = dir + "/port";
+    thread_ = std::thread([this, port_file] {
+      std::ostringstream out;
+      code_ = cli::run_cli({"serve", "--port", "0", "--bind", "127.0.0.1",
+                            "--port-file", port_file, "--cache-dir",
+                            cache_dir_, "--threads", "1"},
+                           out, err_);
+    });
+    for (int i = 0; i < 500 && port_ == 0; ++i) {
+      if (const auto text = read_file(port_file)) {
+        port_ = std::atoi(text->c_str());
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  ~ServeThread() { shutdown(); }
+
+  int port() const { return port_; }
+  std::string host() const { return "127.0.0.1:" + std::to_string(port_); }
+
+  // Daemon-side log; only meaningful after shutdown().
+  std::string log() const { return err_.str(); }
+
+  void shutdown() {
+    if (port_ > 0) {
+      try {
+        Socket sock = tcp_connect("127.0.0.1", port_, 2.0);
+        send_frame(sock, "{\"op\":\"shutdown\"}");
+        (void)recv_frame(sock, 2.0);
+      } catch (const NetError&) {
+        // Already gone — the join below still collects the thread.
+      }
+      port_ = 0;
+    }
+    if (thread_.joinable()) thread_.join();
+    EXPECT_EQ(code_, 0) << err_.str();
+  }
+
+ private:
+  std::string cache_dir_;
+  std::thread thread_;
+  std::ostringstream err_;
+  int code_ = 0;
+  int port_ = 0;
+};
+
+TEST(Cli, DistributedLoopbackSweepMatchesLocalRows) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  const std::vector<std::string> grid = {
+      "--topo",    "hx2mesh:2x2",       "--topo",    "torus:4x4",
+      "--pattern", "shift:1:msg=64KiB", "--pattern", "perm:msg=64KiB",
+      "--threads", "1"};
+  auto with = [&](std::vector<std::string> args) {
+    args.insert(args.begin() + 1, grid.begin(), grid.end());
+    return args;
+  };
+  const auto ref = run(with({"sweep", "--no-cache"}));
+  ASSERT_EQ(ref.code, 0) << ref.err;
+
+  ServeThread daemon("cli_dist_daemon");
+  ASSERT_GT(daemon.port(), 0) << "daemon never published its port";
+  const std::string host = daemon.host();
+  const std::string dir = fresh_dir("cli_dist_sweep");
+  ensure_dir(dir);
+  auto dist = run(with({"sweep", "--shards", "4", "--workers", "1", "--hosts",
+                        host, "--cache-dir", dir + "/cache"}));
+  daemon.shutdown();
+  ASSERT_EQ(dist.code, 0) << dist.err;
+  // The headline invariant: remote execution is invisible in the rows.
+  EXPECT_EQ(dist.out, ref.out);
+  // The host report names the daemon and the wire admitted its blobs.
+  EXPECT_NE(dist.err.find("host " + host + ":"), std::string::npos)
+      << dist.err;
+  EXPECT_NE(dist.err.find("+ 1 host(s)"), std::string::npos) << dist.err;
+  EXPECT_NE(dist.err.find("adopted"), std::string::npos) << dist.err;
+  EXPECT_EQ(dist.err.find("rejected 1"), std::string::npos) << dist.err;
+  // The daemon saw real jobs and exited on request.
+  EXPECT_NE(daemon.log().find("serve: shard"), std::string::npos)
+      << daemon.log();
+  EXPECT_NE(daemon.log().find("serve: exiting after"), std::string::npos)
+      << daemon.log();
+}
+
+TEST(Cli, DistributedSweepSurvivesDroppedConnectionsByteIdentically) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  const std::vector<std::string> grid = {"--topo",    "hx2mesh:2x2",
+                                         "--pattern", "shift:1:msg=64KiB",
+                                         "--pattern", "perm:msg=64KiB",
+                                         "--threads", "1"};
+  auto with = [&](std::vector<std::string> args) {
+    args.insert(args.begin() + 1, grid.begin(), grid.end());
+    return args;
+  };
+  const auto ref = run(with({"sweep", "--no-cache"}));
+  ASSERT_EQ(ref.code, 0) << ref.err;
+
+  ServeThread daemon("cli_drop_daemon");
+  ASSERT_GT(daemon.port(), 0);
+  // drop:1 makes every remote exchange a connection drop (the process
+  // classes stay quiet, so local children are untouched). One drop plus
+  // --blacklist-after 1 quarantines the host immediately; the sweep must
+  // degrade to local-only execution and still merge byte-identically.
+  const ChaosEnv chaos("drop:1");
+  auto r = run(with({"sweep", "--shards", "4", "--workers", "1", "--hosts",
+                     daemon.host(), "--blacklist-after", "1", "--cache-dir",
+                     fresh_dir("cli_drop_sweep") + "/cache"}));
+  daemon.shutdown();
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out, ref.out);
+  EXPECT_NE(r.err.find("drop"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("blacklisted"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("degraded to local-only execution"), std::string::npos)
+      << r.err;
+}
+
+TEST(Cli, UnreachableHostsDegradeToLocalSweep) {
+  const char* exe = std::getenv("HXMESH_EXE");
+  if (!exe || !*exe || !std::filesystem::exists(exe))
+    GTEST_SKIP() << "HXMESH_EXE not set (ctest sets it to the hxmesh binary)";
+
+  // Bind-then-drop a listener: the port is real but nothing answers.
+  int closed_port = 0;
+  {
+    TcpListener listener("127.0.0.1", 0);
+    closed_port = listener.port();
+  }
+  const std::string dir = fresh_dir("cli_unreachable");
+  ensure_dir(dir);
+  auto r = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern",
+                "shift:1:msg=64KiB", "--pattern", "perm:msg=64KiB",
+                "--threads", "1", "--shards", "2", "--workers", "1",
+                "--hosts", "127.0.0.1:" + std::to_string(closed_port),
+                "--blacklist-after", "1", "--cache-dir", dir + "/cache"});
+  ASSERT_EQ(r.code, 0) << r.err;  // the sweep completes regardless
+  EXPECT_NE(r.err.find("blacklisted"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("hosts: all 1 blacklisted — degraded to local-only "
+                       "execution"),
+            std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("shards: 2 ok"), std::string::npos) << r.err;
+}
+
+TEST(Cli, DistributedFlagValidation) {
+  // --hosts requires a sharded sweep; the health knobs require --hosts.
+  EXPECT_EQ(run({"sweep", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                 "--hosts", "a:1"})
+                .code,
+            2);
+  EXPECT_EQ(run({"sweep", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                 "--shards", "2", "--lease-timeout", "5"})
+                .code,
+            2);
+  EXPECT_EQ(run({"sweep", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                 "--shards", "2", "--blacklist-after", "1"})
+                .code,
+            2);
+  // Malformed --hosts entries are config errors, not crashes.
+  auto bad = run({"sweep", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                  "--shards", "2", "--hosts", "alpha:0"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--hosts"), std::string::npos) << bad.err;
+  // run/shard never dispatch remotely.
+  EXPECT_EQ(run({"run", "--topo", "hx2mesh:2x2", "--pattern", "shift:1",
+                 "--hosts", "a:1"})
+                .code,
+            2);
+  // serve validates its own flags.
+  EXPECT_EQ(run({"serve", "--port", "70000"}).code, 2);
+  EXPECT_EQ(run({"serve", "--teapot"}).code, 2);
 }
 
 TEST(Cli, ShardedSweepProgressReportsEveryShard) {

@@ -315,6 +315,56 @@ TEST(Chaos, ActionNamesAreStable) {
   EXPECT_STREQ(chaos_action_name(ChaosAction::kHang), "hang");
 }
 
+TEST(Chaos, ParsesNetworkFaultClasses) {
+  const ChaosSpec spec = parse_chaos("drop:0.45:seed=3,delay:0.2");
+  EXPECT_DOUBLE_EQ(spec.drop_p, 0.45);
+  EXPECT_DOUBLE_EQ(spec.delay_p, 0.2);
+  EXPECT_EQ(spec.seed, 3u);
+  EXPECT_TRUE(spec.net_enabled());
+  EXPECT_FALSE(spec.enabled());  // no process classes in this spec
+
+  // The classes are independent: kill-only specs leave the net quiet.
+  EXPECT_FALSE(parse_chaos("kill:0.5").net_enabled());
+  EXPECT_TRUE(parse_chaos("kill:0.5,drop:0.1").net_enabled());
+  for (const char* bad : {"drop", "drop:", "drop:1.5", "delay:-0.1"})
+    EXPECT_THROW(parse_chaos(bad), std::invalid_argument) << bad;
+}
+
+TEST(Chaos, NetActionIsAPureFunctionOfHostShardAndAttempt) {
+  const ChaosSpec spec = parse_chaos("drop:0.4:seed=11,delay:0.3");
+  for (unsigned host = 0; host < 4; ++host)
+    for (unsigned shard = 0; shard < 8; ++shard)
+      for (int attempt = 1; attempt <= 3; ++attempt)
+        EXPECT_EQ(chaos_net_action(spec, host, shard, attempt),
+                  chaos_net_action(spec, host, shard, attempt))
+            << host << "/" << shard << "/" << attempt;
+  // Certain probabilities are certain; drop wins over delay. This is the
+  // property the blacklist soak leans on: a dropped dispatch re-leased to
+  // the same host drops again, driving its consecutive-fault streak up.
+  const ChaosSpec always_drop = parse_chaos("drop:1,delay:1");
+  const ChaosSpec always_delay = parse_chaos("delay:1");
+  const ChaosSpec never = parse_chaos("drop:0,delay:0");
+  for (unsigned host = 0; host < 4; ++host) {
+    EXPECT_EQ(chaos_net_action(always_drop, host, 0, 1), NetChaosAction::kDrop);
+    EXPECT_EQ(chaos_net_action(always_delay, host, 0, 1),
+              NetChaosAction::kDelay);
+    EXPECT_EQ(chaos_net_action(never, host, 0, 1), NetChaosAction::kNone);
+  }
+  // Hosts draw independently: somewhere in a small grid the same
+  // (shard, attempt) resolves differently on different hosts.
+  bool differs = false;
+  for (unsigned shard = 0; shard < 64 && !differs; ++shard)
+    differs = chaos_net_action(spec, 0, shard, 1) !=
+              chaos_net_action(spec, 1, shard, 1);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Chaos, NetActionNamesAreStable) {
+  EXPECT_STREQ(net_chaos_action_name(NetChaosAction::kNone), "none");
+  EXPECT_STREQ(net_chaos_action_name(NetChaosAction::kDrop), "drop");
+  EXPECT_STREQ(net_chaos_action_name(NetChaosAction::kDelay), "delay");
+}
+
 // -------------------------------------------------------------- fsio -----
 TEST(Fsio, RenameFileMovesAcrossDirectoriesCreatingParents) {
   namespace fs = std::filesystem;

@@ -339,5 +339,88 @@ TEST(ResultCache, ClearAndPruneReclaimShardMetadata) {
   EXPECT_FALSE(fs::exists(cache.shard_meta_dir()));
 }
 
+TEST(ResultCacheWire, BlobsRoundTripThroughAdoption) {
+  // The distributed fabric's transfer path: a daemon read_blob()s the
+  // exact bytes store() wrote; the orchestrator adopt_blob()s them into
+  // its own cache, and a load() there reproduces the result verbatim.
+  ResultCache source(fresh_dir("wire_source"));
+  engine::RunResult result;
+  result.completion_s = 123.456;
+  source.store("feedfacefeedface", result);
+
+  const auto blob = source.read_blob("feedfacefeedface");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_TRUE(ResultCache::blob_checksum_ok(*blob));
+  EXPECT_EQ(source.read_blob("0000000000000000"), std::nullopt);
+
+  ResultCache sink(fresh_dir("wire_sink"));
+  EXPECT_TRUE(sink.adopt_blob("feedfacefeedface", *blob));
+  EXPECT_EQ(sink.adopted_blobs(), 1u);
+  EXPECT_EQ(sink.rejected_blobs(), 0u);
+  const auto loaded = sink.load("feedfacefeedface");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->completion_s, result.completion_s);
+  // The adopted file is byte-identical to the source entry — the merge's
+  // byte-identity guarantee rests on exactly this.
+  EXPECT_EQ(sink.read_blob("feedfacefeedface"), blob);
+}
+
+TEST(ResultCacheWire, CorruptBlobsAreRejectedAtTheDoor) {
+  ResultCache source(fresh_dir("wire_corrupt_src"));
+  engine::RunResult result;
+  source.store("feedfacefeedface", result);
+  std::string blob = *source.read_blob("feedfacefeedface");
+
+  // Flip one payload byte: the trailing checksum no longer matches.
+  const auto pos = blob.find("\"schema\"");
+  ASSERT_NE(pos, std::string::npos);
+  blob[pos + 1] = 'x';
+  EXPECT_FALSE(ResultCache::blob_checksum_ok(blob));
+
+  ResultCache sink(fresh_dir("wire_corrupt_sink"));
+  EXPECT_FALSE(sink.adopt_blob("feedfacefeedface", blob));
+  EXPECT_EQ(sink.rejected_blobs(), 1u);
+  EXPECT_EQ(sink.adopted_blobs(), 0u);
+  // Nothing was written: the corrupt bytes can never be replayed.
+  EXPECT_EQ(sink.load("feedfacefeedface"), std::nullopt);
+  EXPECT_EQ(sink.read_blob("feedfacefeedface"), std::nullopt);
+
+  // Truncated and trivially short blobs fail the same admission test.
+  EXPECT_FALSE(ResultCache::blob_checksum_ok(""));
+  EXPECT_FALSE(ResultCache::blob_checksum_ok("{}"));
+  const std::string good = *source.read_blob("feedfacefeedface");
+  EXPECT_FALSE(ResultCache::blob_checksum_ok(good.substr(0, good.size() / 2)));
+}
+
+TEST(ResultCache, PruneAgesOutQuarantinedBlobs) {
+  namespace fs = std::filesystem;
+  const std::string dir = fresh_dir("cache_prune_quarantine");
+  ResultCache cache(dir);
+  engine::RunResult result;
+  cache.store("aaaa", result);
+
+  // Corrupt an entry on disk and load it: the blob moves to quarantine.
+  cache.store("bbbb", result);
+  write_file_atomic(dir + "/bbbb.json", "{\"schema\":3,broken");
+  EXPECT_EQ(cache.load("bbbb"), std::nullopt);
+  EXPECT_EQ(cache.quarantined(), 1u);
+  ASSERT_TRUE(fs::exists(cache.quarantine_dir() + "/bbbb.json"));
+
+  // A fresh quarantine blob survives an age-bounded prune; a stale one is
+  // aged out and counted separately from the entries.
+  auto pruned = cache.prune(std::int64_t{7} * 86400, std::nullopt);
+  EXPECT_EQ(pruned.quarantine_removed, 0u);
+  EXPECT_TRUE(fs::exists(cache.quarantine_dir() + "/bbbb.json"));
+
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(cache.quarantine_dir() + "/bbbb.json",
+                      now - std::chrono::hours(240));
+  pruned = cache.prune(std::int64_t{7} * 86400, std::nullopt);
+  EXPECT_EQ(pruned.quarantine_removed, 1u);
+  EXPECT_EQ(pruned.removed, 0u);  // evidence is not an entry
+  EXPECT_EQ(pruned.kept, 1u);
+  EXPECT_FALSE(fs::exists(cache.quarantine_dir() + "/bbbb.json"));
+}
+
 }  // namespace
 }  // namespace hxmesh

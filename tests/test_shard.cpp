@@ -6,11 +6,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.hpp"
@@ -496,6 +498,307 @@ TEST(ShardOrchestrator, LauncherExceptionsCountAsFailedAttempts) {
   EXPECT_EQ(runs[0].error, "spawn blew up");  // what() survives to the report
   EXPECT_EQ(runs[0].attempts, 2);
   EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ShardManifestTest, MalformedDocumentsThrowTypedErrors) {
+  // Every malformed manifest must surface as std::invalid_argument — the
+  // merge layer catches exactly that type and refuses the merge; a crash
+  // here would take the whole sweep down on one bad file.
+  ShardManifest good;
+  good.fingerprint = "00ff00ff00ff00ff";
+  good.shard = 1;
+  good.shards = 3;
+  good.cell_lo = 2;
+  good.cell_hi = 4;
+  good.keys = {"0123456789abcdef", "fedcba9876543210"};
+  const std::string text = engine::render_manifest(good);
+
+  // Truncated documents (torn writes, partial transfers) at every length.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, text.size() / 2,
+                          text.rfind('}')})
+    EXPECT_THROW(engine::parse_manifest(text.substr(0, cut)),
+                 std::invalid_argument)
+        << "cut at " << cut;
+
+  auto rendered = [&](void (*mutate)(ShardManifest&)) {
+    ShardManifest m = good;
+    mutate(m);
+    return engine::render_manifest(m);
+  };
+  // Zero shard count, shard index out of range, inverted cell range: all
+  // representable in valid JSON, all semantically impossible.
+  EXPECT_THROW(engine::parse_manifest(rendered([](ShardManifest& m) {
+                 m.shards = 0;
+                 m.shard = 0;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      engine::parse_manifest(rendered([](ShardManifest& m) { m.shard = 3; })),
+      std::invalid_argument);
+  EXPECT_THROW(engine::parse_manifest(rendered([](ShardManifest& m) {
+                 m.cell_lo = 5;
+                 m.cell_hi = 4;
+                 m.keys = {};
+               })),
+               std::invalid_argument);
+  // Non-string entries in the key list.
+  std::string doctored = text;
+  const auto pos = doctored.find("\"0123456789abcdef\"");
+  ASSERT_NE(pos, std::string::npos);
+  doctored.replace(pos, 18, "42");
+  EXPECT_THROW(engine::parse_manifest(doctored), std::invalid_argument);
+
+  // Duplicate *keys* are legal (a multi-grid sweep can repeat a cell
+  // under two labels); duplicate *coverage* is the merge's error domain —
+  // see ShardMerge.RejectsIncompleteOrForeignManifests ("covered twice").
+  ShardManifest dup = good;
+  dup.keys = {"0123456789abcdef", "0123456789abcdef"};
+  EXPECT_EQ(engine::parse_manifest(engine::render_manifest(dup)).keys,
+            dup.keys);
+}
+
+TEST(WeightedPartition, DegenerateInputsStillCoverExactly) {
+  // Empty plan: every shard gets the empty range — a sweep of zero cells
+  // merges trivially instead of dividing by zero.
+  const GridPlan empty({});
+  EXPECT_EQ(empty.total_cells(), 0u);
+  for (unsigned shards : {1u, 2u, 7u})
+    for (unsigned s = 0; s < shards; ++s) {
+      const auto [lo, hi] = empty.weighted_shard_cells(s, shards);
+      EXPECT_EQ(lo, 0u);
+      EXPECT_EQ(hi, 0u);
+    }
+
+  // Single cell: shard 0 owns it; surplus shards are empty, never lost.
+  SweepConfig one;
+  one.topologies = {"hx2mesh:2x2"};
+  one.patterns = {flow::parse_traffic("perm:msg=64KiB")};
+  one.seeds = {1};
+  const GridPlan single({GridSpec{one, {}}});
+  ASSERT_EQ(single.total_cells(), 1u);
+  for (unsigned shards : {1u, 2u, 5u}) {
+    std::size_t expect_lo = 0, owners = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+      const auto [lo, hi] = single.weighted_shard_cells(s, shards);
+      EXPECT_EQ(lo, expect_lo);
+      owners += hi - lo;
+      expect_lo = hi;
+    }
+    EXPECT_EQ(expect_lo, 1u) << shards;
+    EXPECT_EQ(owners, 1u) << shards;
+  }
+
+  // All-equal weights: one engine, one pattern shape, seeds only — the
+  // weighted split must reduce to the near-equal count split (±1 cell).
+  SweepConfig flat;
+  flat.topologies = {"hx2mesh:2x2"};
+  flat.patterns = {flow::parse_traffic("shift:1:msg=64KiB")};
+  flat.seeds = {1, 2, 3, 4, 5, 6};
+  const GridPlan equal({GridSpec{flat, {}}});
+  ASSERT_EQ(equal.total_cells(), 6u);
+  for (unsigned shards : {2u, 3u, 4u}) {
+    std::size_t expect_lo = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+      const auto [lo, hi] = equal.weighted_shard_cells(s, shards);
+      EXPECT_EQ(lo, expect_lo);
+      const std::size_t size = hi - lo;
+      EXPECT_LE(size, 6u / shards + 1) << s << "/" << shards;
+      expect_lo = hi;
+    }
+    EXPECT_EQ(expect_lo, 6u);
+  }
+}
+
+// -- distributed dispatch ------------------------------------------------
+
+TEST(HostsFlag, ParsesListsAndBracketedV6Literals) {
+  const auto hosts = engine::parse_hosts("alpha:9000,10.0.0.2:1,[::1]:65535");
+  ASSERT_EQ(hosts.size(), 3u);
+  EXPECT_EQ(hosts[0].host, "alpha");
+  EXPECT_EQ(hosts[0].port, 9000);
+  EXPECT_EQ(hosts[0].name(), "alpha:9000");
+  EXPECT_EQ(hosts[1].name(), "10.0.0.2:1");
+  EXPECT_EQ(hosts[2].host, "::1");  // stored unbracketed for connect()
+  EXPECT_EQ(hosts[2].port, 65535);
+
+  for (const char* bad :
+       {"", ",", "alpha", "alpha:", ":9000", "alpha:0", "alpha:65536",
+        "alpha:9x", "alpha:9000,", "[::1]", "[::1]9000"}) {
+    EXPECT_THROW(engine::parse_hosts(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ReconnectBackoff, DeterministicBoundedAndGrowing) {
+  engine::HostPolicy policy;
+  policy.reconnect_base_s = 0.1;
+  policy.reconnect_max_s = 0.8;
+  policy.seed = 9;
+  for (unsigned host = 0; host < 3; ++host) {
+    double prev_cap = 0.0;
+    for (unsigned fault = 1; fault <= 6; ++fault) {
+      const double a = engine::reconnect_backoff_s(policy, host, fault);
+      EXPECT_EQ(a, engine::reconnect_backoff_s(policy, host, fault))
+          << "same fault must wait the same time";
+      const double cap = std::min(
+          policy.reconnect_max_s,
+          policy.reconnect_base_s * static_cast<double>(1u << (fault - 1)));
+      EXPECT_GE(a, cap * 0.5) << host << "/" << fault;
+      EXPECT_LE(a, cap) << host << "/" << fault;
+      EXPECT_GE(cap, prev_cap);
+      prev_cap = cap;
+    }
+  }
+  // Zero base disables the wait (tests spin the probe loop flat out).
+  engine::HostPolicy eager = policy;
+  eager.reconnect_base_s = 0.0;
+  EXPECT_EQ(engine::reconnect_backoff_s(eager, 0, 3), 0.0);
+}
+
+// Fast host policy for unit tests: no reconnect sleeping.
+engine::HostPolicy hosts_policy(unsigned blacklist_after) {
+  engine::HostPolicy policy;
+  policy.blacklist_after = blacklist_after;
+  policy.reconnect_base_s = 0.0;
+  return policy;
+}
+
+// Host-fault launcher attempt (transport problem, charged to the host).
+engine::ShardAttempt faulted(std::string error) {
+  engine::ShardAttempt attempt;
+  attempt.outcome = engine::ShardOutcome::kSpawnFailed;
+  attempt.error = std::move(error);
+  attempt.host_fault = true;
+  return attempt;
+}
+
+TEST(DistributedOrchestrator, HostFaultsReleaseWithoutBurningAttempts) {
+  // A host that drops every exchange: each leased shard must come back to
+  // the queue with its attempt budget intact, finish locally on its FIRST
+  // counted attempt, and the host must blacklist after two faults.
+  std::atomic<int> remote_calls{0}, local_calls{0};
+  auto local = [&](unsigned, int attempt) {
+    ++local_calls;
+    EXPECT_EQ(attempt, 1);  // a re-leased shard is still on attempt 1
+    // Slow enough that the (sleepless) host thread reaches its blacklist
+    // threshold long before the local worker drains the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return exited(0);
+  };
+  auto remote = [&](unsigned, unsigned, int) {
+    ++remote_calls;
+    return faulted("connection dropped");
+  };
+  std::vector<engine::HostReport> reports;
+  const auto runs = engine::run_shard_jobs_distributed(
+      6, 1, attempts_policy(1), local, 1, remote, [](unsigned) { return true; },
+      hosts_policy(2), &reports);
+  ASSERT_EQ(runs.size(), 6u);
+  for (const auto& run : runs) {
+    EXPECT_TRUE(run.ok()) << run.shard;
+    EXPECT_EQ(run.attempts, 1) << run.shard;  // faults consumed nothing
+    EXPECT_EQ(run.history.size(), 1u) << run.shard;
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].blacklisted);
+  EXPECT_EQ(reports[0].faults, 2u);  // stopped exactly at the threshold
+  EXPECT_EQ(reports[0].completed, 0u);
+  EXPECT_EQ(reports[0].last_error, "connection dropped");
+  EXPECT_EQ(remote_calls.load(), 2);
+  EXPECT_EQ(local_calls.load(), 6);
+}
+
+TEST(DistributedOrchestrator, UnreachableHostsDegradeToLocalOnly) {
+  // Probes never succeed: with blacklist_after=1 both hosts quarantine on
+  // their first failed probe and the sweep completes on the forced local
+  // worker (local_workers=0 is bumped to the degradation floor of 1).
+  std::atomic<int> remote_calls{0};
+  auto remote = [&](unsigned, unsigned, int) {
+    ++remote_calls;
+    return exited(0);
+  };
+  auto local = [](unsigned, int) {
+    // Keep the queue alive long enough for both hosts to fail their first
+    // probe — otherwise the sweep could finish before they even try.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return exited(0);
+  };
+  std::vector<engine::HostReport> reports;
+  const auto runs = engine::run_shard_jobs_distributed(
+      4, 0, attempts_policy(2), local, 2, remote,
+      [](unsigned) { return false; }, hosts_policy(1), &reports);
+  ASSERT_EQ(runs.size(), 4u);
+  for (const auto& run : runs) EXPECT_TRUE(run.ok()) << run.shard;
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.blacklisted) << report.name;
+    EXPECT_GE(report.faults, 1u);
+    EXPECT_EQ(report.dispatched, 0u);  // never got a lease
+  }
+  EXPECT_EQ(remote_calls.load(), 0);  // a dead host is never leased to
+}
+
+TEST(DistributedOrchestrator, RemoteSuccessesAndJobFailuresAreTallied) {
+  // The remote slot fails each shard's first attempt (job failure: charged
+  // to the shard) and succeeds afterwards; the local worker is slow enough
+  // that the host sees most of the queue. Every failure must burn a real
+  // attempt and every run's history must match its attempt count.
+  std::mutex mutex;
+  std::map<unsigned, int> first_seen;
+  auto remote = [&](unsigned, unsigned shard, int attempt) {
+    std::lock_guard lock(mutex);
+    if (++first_seen[shard] == 1) {
+      EXPECT_EQ(attempt, 1);
+      return exited(7, "transient remote failure");
+    }
+    return exited(0);
+  };
+  auto local = [&](unsigned, int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return exited(0);
+  };
+  std::vector<engine::HostReport> reports;
+  const auto runs = engine::run_shard_jobs_distributed(
+      6, 1, attempts_policy(3), local, 1, remote,
+      [](unsigned) { return true; }, hosts_policy(3), &reports);
+  ASSERT_EQ(runs.size(), 6u);
+  for (const auto& run : runs) {
+    EXPECT_TRUE(run.ok()) << run.shard;
+    EXPECT_EQ(run.history.size(), static_cast<std::size_t>(run.attempts))
+        << run.shard;
+    EXPECT_EQ(run.history.back(), engine::ShardOutcome::kExited) << run.shard;
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].blacklisted);  // job failures are not host faults
+  EXPECT_EQ(reports[0].faults, 0u);
+  EXPECT_EQ(reports[0].dispatched,
+            reports[0].completed + reports[0].job_failures);
+  EXPECT_GT(reports[0].completed, 0u);  // the healthy host did real work
+}
+
+TEST(DistributedOrchestrator, HistoryNamesRenderTheRetryReport) {
+  // One shard, one worker: signaled, then timed-out, then success — the
+  // report string the CLI prints must spell out all three classifications.
+  auto launch = [](unsigned, int attempt) {
+    engine::ShardAttempt result;
+    if (attempt == 1) {
+      result.outcome = engine::ShardOutcome::kSignaled;
+      result.error = "killed by signal 9";
+    } else if (attempt == 2) {
+      result.outcome = engine::ShardOutcome::kTimedOut;
+      result.error = "watchdog timeout";
+    } else {
+      result = exited(0);
+    }
+    return result;
+  };
+  const auto runs = engine::run_shard_jobs(1, 1, attempts_policy(3), launch);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(runs[0].ok());
+  EXPECT_EQ(runs[0].attempts, 3);
+  EXPECT_EQ(engine::history_names(runs[0]), "signaled, timed-out, exited");
+  // Zero attempts (skipped shards) render empty, not a stray separator.
+  engine::ShardRun untouched;
+  EXPECT_EQ(engine::history_names(untouched), "");
 }
 
 // The CLI shard subcommand is the worker the orchestrator launches; drive
